@@ -1,0 +1,36 @@
+# Convenience targets for the BSP-vs-LogP reproduction.
+
+GO ?= go
+
+.PHONY: all test race bench experiments examples cover clean
+
+all: test
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/bsplogp -all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/samplesort
+	$(GO) run ./examples/matmul
+	$(GO) run ./examples/broadcast
+	$(GO) run ./examples/hotspot
+	$(GO) run ./examples/radixsort
+	$(GO) run ./examples/models
+
+cover:
+	$(GO) test -cover ./internal/...
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

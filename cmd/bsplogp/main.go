@@ -1,0 +1,74 @@
+// Command bsplogp regenerates the quantitative results of "BSP vs
+// LogP" (Bilardi, Herley, Pietracaprina, Pucci, Spirakis; SPAA 1996 /
+// Algorithmica 1999) on the executable BSP and LogP machines in this
+// repository.
+//
+// Usage:
+//
+//	bsplogp -list
+//	bsplogp -experiment E3 [-quick] [-seed 1]
+//	bsplogp -all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body; it returns the process exit code.
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("bsplogp", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		id    = fs.String("experiment", "", "experiment id to run (E1..E13, A1..A6); empty with -all runs everything")
+		all   = fs.Bool("all", false, "run every experiment")
+		list  = fs.Bool("list", false, "list experiments and exit")
+		quick = fs.Bool("quick", false, "shrink processor counts and trials")
+		seed  = fs.Uint64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Fprintf(out, "%-4s %s\n", e.ID, e.Name)
+		}
+		return 0
+	}
+
+	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	runOne := func(e bench.Experiment) {
+		start := time.Now()
+		tab := e.Run(cfg)
+		fmt.Fprintln(out, tab.Render())
+		fmt.Fprintf(out, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	switch {
+	case *all:
+		for _, e := range bench.All() {
+			runOne(e)
+		}
+	case *id != "":
+		e, ok := bench.Lookup(*id)
+		if !ok {
+			fmt.Fprintf(errOut, "bsplogp: unknown experiment %q; use -list\n", *id)
+			return 2
+		}
+		runOne(e)
+	default:
+		fs.Usage()
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCLIList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	s := out.String()
+	for _, id := range []string{"E1", "E5", "E10", "A6"} {
+		if !strings.Contains(s, id) {
+			t.Fatalf("list output missing %s:\n%s", id, s)
+		}
+	}
+}
+
+func TestCLISingleExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-experiment", "e6", "-quick"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "E6") || !strings.Contains(out.String(), "completed in") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestCLIUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-experiment", "E99"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Fatalf("stderr: %s", errOut.String())
+	}
+}
+
+func TestCLINoArgs(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2 (usage)", code)
+	}
+}
+
+func TestCLIBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is an executable reproduction of "BSP vs LogP"
+// (Bilardi, Herley, Pietracaprina, Pucci, Spirakis; SPAA 1996 /
+// Algorithmica 1999): cycle-accurate BSP and LogP virtual machines,
+// the paper's cross-simulations in both directions, the collectives
+// and routing protocols they are built from, and a packet-level
+// network simulator for the Section 5 topology analysis.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate every table and
+// figure; `go run ./cmd/bsplogp -all` prints them.
+package repro

@@ -1,0 +1,81 @@
+// Broadcast: the two optimal LogP collectives — the paper's
+// Combine-and-Broadcast tree (Proposition 2) and the greedy broadcast
+// tree of Karp et al. — run natively on LogP across a sweep of the
+// capacity ceil(L/G), and then unmodified on a BSP machine through the
+// Theorem 1 cross-simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/logp"
+)
+
+func main() {
+	const p = 64
+	fmt.Println("CB tree vs greedy broadcast across capacity ceil(L/G), p =", p)
+	fmt.Printf("%-6s %-4s %-4s %-10s %-10s %-10s\n", "L", "G", "cap", "T(CB)", "T(greedy)", "CB bound")
+
+	for _, g := range []int64{32, 16, 8, 4, 2} {
+		lp := logp.Params{P: p, L: 32, O: 1, G: g}
+
+		// CB: broadcast the maximum of the processor ids.
+		m := logp.NewMachine(lp, logp.WithStrictStallFree())
+		resCB, err := m.Run(func(pr logp.Proc) {
+			mb := collective.NewMailbox(pr)
+			if got := collective.CombineBroadcast(mb, 1, int64(pr.ID()), collective.OpMax); got != p-1 {
+				log.Fatalf("CB returned %d, want %d", got, p-1)
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Greedy broadcast of a single value from processor 0.
+		sched := collective.BuildBroadcastSchedule(lp, 0)
+		m2 := logp.NewMachine(lp, logp.WithStrictStallFree())
+		resG, err := m2.Run(func(pr logp.Proc) {
+			mb := collective.NewMailbox(pr)
+			x := int64(0)
+			if pr.ID() == 0 {
+				x = 424242
+			}
+			if got := collective.RunBroadcast(mb, 2, sched, x); got != 424242 {
+				log.Fatalf("broadcast returned %d", got)
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-6d %-4d %-4d %-10d %-10d %-10d\n",
+			lp.L, lp.G, lp.Capacity(), resCB.Time, resG.Time, collective.CBTimeBound(lp, p))
+	}
+
+	// The same CB program replayed under BSP cost semantics.
+	fmt.Println("\nTheorem 1 replay of the CB program (matched g = G, l = L):")
+	fmt.Printf("%-6s %-4s %-10s %-10s %-9s\n", "L", "G", "T(LogP)", "T(BSP)", "slowdown")
+	for _, g := range []int64{16, 8, 4} {
+		lp := logp.Params{P: p, L: 32, O: 1, G: g}
+		prog := func(pr logp.Proc) {
+			mb := collective.NewMailbox(pr)
+			collective.CombineBroadcast(mb, 1, int64(pr.ID()), collective.OpMax)
+		}
+		native, err := logp.NewMachine(lp).Run(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim := &core.LogPOnBSP{LogP: lp}
+		rep, err := sim.Run(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.CapacityViolations != 0 {
+			log.Fatal("CB replay unexpectedly violated the capacity bound")
+		}
+		fmt.Printf("%-6d %-4d %-10d %-10d %-9.2f\n", lp.L, lp.G, native.Time, rep.BSPTime, rep.Slowdown())
+	}
+}

@@ -1,0 +1,124 @@
+// Quickstart: build a BSP machine and a LogP machine, run a parallel
+// prefix-sum on each, then run each program on the other model through
+// the paper's cross-simulations and compare the measured costs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bsp"
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/logp"
+)
+
+const p = 16
+
+// bspPrefixSum computes exclusive prefix sums of one value per
+// processor in log p supersteps (recursive doubling).
+func bspPrefixSum(values, prefix []int64) bsp.Program {
+	return func(pr bsp.Proc) {
+		id := pr.ID()
+		n := pr.P()
+		acc := values[id] // inclusive running sum
+		excl := int64(0)  // exclusive prefix
+		for d := 1; d < n; d *= 2 {
+			if id+d < n {
+				pr.Send(id+d, 0, acc, 0)
+			}
+			pr.Compute(1)
+			pr.Sync()
+			if m, ok := pr.Recv(); ok {
+				excl += m.Payload
+				acc += m.Payload
+			}
+		}
+		prefix[id] = excl
+	}
+}
+
+// logpSumTree computes the global sum with Combine-and-Broadcast.
+func logpSumTree(values, sums []int64) logp.Program {
+	return func(pr logp.Proc) {
+		mb := collective.NewMailbox(pr)
+		sums[pr.ID()] = collective.CombineBroadcast(mb, 1, values[pr.ID()], collective.OpSum)
+	}
+}
+
+func main() {
+	values := make([]int64, p)
+	var total int64
+	for i := range values {
+		values[i] = int64(i*i + 1)
+		total += values[i]
+	}
+
+	// --- Native BSP run -------------------------------------------------
+	bspParams := bsp.Params{P: p, G: 2, L: 32}
+	prefix := make([]int64, p)
+	bres, err := bsp.NewMachine(bspParams).Run(bspPrefixSum(values, prefix))
+	if err != nil {
+		log.Fatal(err)
+	}
+	check := int64(0)
+	for i, v := range prefix {
+		if v != check {
+			log.Fatalf("prefix[%d] = %d, want %d", i, v, check)
+		}
+		check += values[i]
+	}
+	fmt.Printf("BSP %v: prefix-sum OK in %d supersteps, T = %d\n",
+		bspParams, bres.Supersteps, bres.Time)
+
+	// --- Native LogP run ------------------------------------------------
+	logpParams := logp.Params{P: p, L: 32, O: 2, G: 2}
+	sums := make([]int64, p)
+	lm := logp.NewMachine(logpParams, logp.WithStrictStallFree())
+	lres, err := lm.Run(logpSumTree(values, sums))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range sums {
+		if s != total {
+			log.Fatalf("sum at %d = %d, want %d", i, s, total)
+		}
+	}
+	fmt.Printf("LogP %v: tree-sum OK, T = %d (stall-free)\n", logpParams, lres.Time)
+
+	// --- LogP program on BSP (Theorem 1) ---------------------------------
+	t1 := &core.LogPOnBSP{LogP: logpParams}
+	for i := range sums {
+		sums[i] = 0
+	}
+	r1, err := t1.Run(logpSumTree(values, sums))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sums[0] != total {
+		log.Fatalf("Theorem 1 replay computed %d, want %d", sums[0], total)
+	}
+	fmt.Printf("Theorem 1 (LogP on BSP): result OK, BSP T = %d, slowdown %.2fx, stall-free cycles: %v\n",
+		r1.BSPTime, r1.Slowdown(), r1.CapacityViolations == 0)
+
+	// --- BSP program on LogP (Theorems 2/3) ------------------------------
+	for _, router := range []core.Router{core.RouterDeterministic, core.RouterRandomized, core.RouterOffline} {
+		for i := range prefix {
+			prefix[i] = 0
+		}
+		t2 := &core.BSPOnLogP{LogP: logpParams, Router: router, Seed: 1}
+		r2, err := t2.Run(bspPrefixSum(values, prefix))
+		if err != nil {
+			log.Fatal(err)
+		}
+		check = 0
+		for i, v := range prefix {
+			if v != check {
+				log.Fatalf("%v router: prefix[%d] = %d, want %d", router, i, v, check)
+			}
+			check += values[i]
+		}
+		fmt.Printf("Theorems 2/3 (%s router): result OK, LogP T = %d, guest T = %d, slowdown %.1fx, stalls %d\n",
+			router, r2.HostTime, r2.GuestTime, r2.Slowdown(), r2.Host.StallEvents)
+	}
+}

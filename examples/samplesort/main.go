@@ -1,0 +1,166 @@
+// Samplesort: a four-superstep BSP parallel sort by regular sampling
+// (PSRS), run natively on the BSP machine and then — unmodified — on a
+// LogP machine through each of the paper's three BSP-on-LogP routers
+// (Theorem 2's deterministic protocol, Theorem 3's randomized
+// protocol, and the off-line Hall decomposition). The example verifies
+// the global order after every run and reports the measured slowdowns.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/bsp"
+	"repro/internal/core"
+	"repro/internal/logp"
+	"repro/internal/stats"
+)
+
+const (
+	p       = 8
+	perProc = 64
+)
+
+// sampleSort sorts data (r keys per processor) in place of out:
+// out[i] receives processor i's final sorted partition. Supersteps:
+//
+//	0: sort locally, send p regular samples to processor 0
+//	1: processor 0 sorts the p*p samples and broadcasts p-1 splitters
+//	2: partition local data by the splitters, send each bucket to its
+//	   owner
+//	3: merge what arrived
+func sampleSort(data [][]int64, out [][]int64) bsp.Program {
+	return func(pr bsp.Proc) {
+		id := pr.ID()
+		n := pr.P()
+		local := append([]int64(nil), data[id]...)
+		sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+		pr.Compute(int64(len(local)) * 6) // ~r log r
+
+		// Regular samples.
+		for k := 0; k < n; k++ {
+			idx := k * len(local) / n
+			pr.Send(0, 0, local[idx], 0)
+		}
+		pr.Sync()
+
+		// Processor 0 picks splitters.
+		if id == 0 {
+			var samples []int64
+			for {
+				m, ok := pr.Recv()
+				if !ok {
+					break
+				}
+				samples = append(samples, m.Payload)
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			pr.Compute(int64(len(samples)) * 7)
+			for j := 0; j < n; j++ {
+				for k := 1; k < n; k++ {
+					pr.Send(j, 1, samples[k*len(samples)/n], int64(k))
+				}
+			}
+		}
+		pr.Sync()
+
+		// Partition by splitters and exchange.
+		splitters := make([]int64, n-1)
+		for {
+			m, ok := pr.Recv()
+			if !ok {
+				break
+			}
+			splitters[m.Aux-1] = m.Payload
+		}
+		for _, v := range local {
+			bucket := sort.Search(len(splitters), func(i int) bool { return v < splitters[i] })
+			pr.Send(bucket, 2, v, 0)
+		}
+		pr.Compute(int64(len(local)) * 3)
+		pr.Sync()
+
+		// Merge the received partition.
+		var part []int64
+		for {
+			m, ok := pr.Recv()
+			if !ok {
+				break
+			}
+			part = append(part, m.Payload)
+		}
+		sort.Slice(part, func(i, j int) bool { return part[i] < part[j] })
+		pr.Compute(int64(len(part)) * 6)
+		out[id] = part
+	}
+}
+
+func verify(out [][]int64, want []int64) error {
+	var got []int64
+	for i, part := range out {
+		for j := 1; j < len(part); j++ {
+			if part[j-1] > part[j] {
+				return fmt.Errorf("partition %d not sorted at %d", i, j)
+			}
+		}
+		if i > 0 && len(out[i-1]) > 0 && len(part) > 0 {
+			if out[i-1][len(out[i-1])-1] > part[0] {
+				return fmt.Errorf("partition %d starts below partition %d's end", i, i-1)
+			}
+		}
+		got = append(got, part...)
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("got %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("key %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+func main() {
+	rng := stats.NewRNG(2024)
+	data := make([][]int64, p)
+	var all []int64
+	for i := range data {
+		data[i] = make([]int64, perProc)
+		for j := range data[i] {
+			data[i][j] = int64(rng.Uint64n(100000))
+			all = append(all, data[i][j])
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	// Native BSP.
+	out := make([][]int64, p)
+	params := bsp.Params{P: p, G: 2, L: 64}
+	res, err := bsp.NewMachine(params).Run(sampleSort(data, out))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := verify(out, all); err != nil {
+		log.Fatalf("native BSP: %v", err)
+	}
+	fmt.Printf("native BSP %v: sorted %d keys in %d supersteps, T = %d\n",
+		params, len(all), res.Supersteps, res.Time)
+
+	// The same program on LogP, through each router.
+	lp := logp.Params{P: p, L: 64, O: 2, G: 2}
+	for _, router := range []core.Router{core.RouterDeterministic, core.RouterRandomized, core.RouterOffline} {
+		out := make([][]int64, p)
+		sim := &core.BSPOnLogP{LogP: lp, Router: router, Seed: 7}
+		r, err := sim.Run(sampleSort(data, out))
+		if err != nil {
+			log.Fatalf("%v: %v", router, err)
+		}
+		if err := verify(out, all); err != nil {
+			log.Fatalf("%v: %v", router, err)
+		}
+		fmt.Printf("BSP-on-LogP (%s): sorted OK, host T = %d, slowdown %.1fx, messages routed %d, stalls %d\n",
+			router, r.HostTime, r.Slowdown(), r.MessagesRouted, r.Host.StallEvents)
+	}
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab := e.Run(cfg)
+			if tab.ID != e.ID {
+				t.Fatalf("table id %q, want %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows produced")
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("row width %d, columns %d: %v", len(row), len(tab.Columns), row)
+				}
+			}
+			out := tab.Render()
+			if !strings.Contains(out, e.ID) || !strings.Contains(out, tab.Columns[0]) {
+				t.Fatalf("render missing header:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("e3"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+func TestE2SlowdownShape(t *testing.T) {
+	tab := E2LogPOnBSP(Config{Quick: true, Seed: 1})
+	// Within each program block, the g/G=8 row must show a larger
+	// slowdown than the matched row.
+	var matched, stretched float64
+	for _, row := range tab.Rows {
+		if row[0] != "ring" {
+			continue
+		}
+		switch {
+		case row[2] == "1" && row[3] == "1":
+			matched = parseF(t, row[6])
+		case row[2] == "8" && row[3] == "1":
+			stretched = parseF(t, row[6])
+		}
+	}
+	if matched <= 0 || stretched <= matched {
+		t.Fatalf("slowdowns: matched %v, g/G=8 %v", matched, stretched)
+	}
+}
+
+func TestE3SlowdownDecreasesInH(t *testing.T) {
+	tab := E3BSPOnLogPDet(Config{Quick: true, Seed: 1})
+	var first, last float64
+	for i, row := range tab.Rows {
+		s := parseF(t, row[4])
+		if i == 0 {
+			first = s
+		}
+		last = s
+		if row[6] != "0" {
+			t.Fatalf("stalls in deterministic run: %v", row)
+		}
+	}
+	if last >= first {
+		t.Fatalf("slowdown did not decrease from h=1 (%v) to h=p (%v)", first, last)
+	}
+}
+
+func TestE8OverheadNearConstant(t *testing.T) {
+	tab := E8Offline(Config{Quick: true, Seed: 1})
+	var lo, hi float64
+	for i, row := range tab.Rows {
+		ov := parseF(t, row[4])
+		if i == 0 {
+			lo, hi = ov, ov
+		}
+		if ov < lo {
+			lo = ov
+		}
+		if ov > hi {
+			hi = ov
+		}
+	}
+	// The overhead is barrier+alignment; across the h sweep it may
+	// wobble by acquisition tails but not grow proportionally to h.
+	if hi > 2*lo+64 {
+		t.Fatalf("offline overhead not near-constant: lo=%v hi=%v", lo, hi)
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmt.Sscan(s, &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestE9StallsGrowWithSkew(t *testing.T) {
+	tab := E9RadixSkew(Config{Quick: true, Seed: 1})
+	var prev float64 = -1
+	for _, row := range tab.Rows {
+		cyc := parseF(t, row[5])
+		if prev >= 0 && cyc < prev/2 {
+			t.Fatalf("stall cycles dropped sharply with more skew: %v", tab.Rows)
+		}
+		prev = cyc
+	}
+	first := parseF(t, tab.Rows[0][5])
+	last := parseF(t, tab.Rows[len(tab.Rows)-1][5])
+	if last < 3*first {
+		t.Fatalf("99%% skew stall cycles (%v) not well above uniform (%v)", last, first)
+	}
+}
+
+func TestE10RatiosInBand(t *testing.T) {
+	tab := E10Portability(Config{Quick: true, Seed: 1})
+	for _, row := range tab.Rows {
+		ratio := parseF(t, row[4])
+		if ratio < 0.3 || ratio > 3 {
+			t.Fatalf("topology %s meas/pred ratio %v outside [0.3, 3]", row[0], ratio)
+		}
+	}
+}
+
+func TestA6WallTimeOrderInsensitive(t *testing.T) {
+	tab := A6AcceptOrder(Config{Quick: true, Seed: 1})
+	base := parseF(t, tab.Rows[0][3])
+	for _, row := range tab.Rows {
+		tm := parseF(t, row[3])
+		if tm < base*0.7 || tm > base*1.3 {
+			t.Fatalf("order %s wall time %v deviates from %v", row[2], tm, base)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"sort"
+
+	"repro/internal/bsp"
+	"repro/internal/logp"
+	"repro/internal/netrun"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+)
+
+// E9RadixSkew reproduces the paper's Section 6 observation about the
+// LogP Radixsort of Culler et al.: the bucket-redistribution relation
+// is data-dependent, and skewed keys drive it past the capacity
+// constraint, producing stall costs "that cannot be estimated reliably"
+// from the program text.
+func E9RadixSkew(cfg Config) *Table {
+	t := &Table{
+		ID:      "E9",
+		Title:   "Section 6: radix-sort bucket exchange vs key skew (capacity violations)",
+		Columns: []string{"p", "keys", "skew%", "T-meas", "stall-events", "stall-cycles", "maxBuffer"},
+		Notes:   []string{"the same program, same key count: only the key distribution changes the relation's degree"},
+	}
+	pCount := 16
+	perProc := 32
+	if !cfg.Quick {
+		pCount = 32
+		perProc = 64
+	}
+	params := logp.Params{P: pCount, L: 16, O: 1, G: 4}
+	const keyRange = 1 << 16
+	for _, skew := range []int{0, 50, 90, 99} {
+		rng := stats.NewRNG(cfg.Seed + uint64(skew))
+		keys := make([][]int64, pCount)
+		for i := range keys {
+			keys[i] = make([]int64, perProc)
+			for j := range keys[i] {
+				if rng.Intn(100) < skew {
+					keys[i][j] = int64(rng.Uint64n(keyRange / uint64(pCount)))
+				} else {
+					keys[i][j] = int64(rng.Uint64n(keyRange))
+				}
+			}
+		}
+		res, err := logp.NewMachine(params, logp.WithDeliveryPolicy(logp.DeliverMinLatency), logp.WithSeed(cfg.Seed)).
+			Run(bucketSortProgram(keys, keyRange))
+		must(err)
+		t.AddRow(pCount, pCount*perProc, skew, res.Time, res.StallEvents, res.StallCycles, res.MaxBufferDepth)
+	}
+	return t
+}
+
+// bucketSortProgram is the one-pass MSD bucket redistribution: count,
+// exchange counts, blast keys to their bucket owners, sort locally.
+func bucketSortProgram(keys [][]int64, keyRange int) logp.Program {
+	return func(pr logp.Proc) {
+		id := pr.ID()
+		n := pr.P()
+		bucketOf := func(k int64) int {
+			b := int(k * int64(n) / int64(keyRange))
+			if b >= n {
+				b = n - 1
+			}
+			return b
+		}
+		counts := make([]int64, n)
+		for _, k := range keys[id] {
+			counts[bucketOf(k)]++
+		}
+		pr.Compute(int64(len(keys[id])))
+		for j := 0; j < n; j++ {
+			if j != id {
+				pr.Send(j, 1, counts[j], 0)
+			}
+		}
+		incoming := counts[id]
+		for j := 0; j < n-1; j++ {
+			incoming += pr.Recv().Payload
+		}
+		local := make([]int64, 0, incoming)
+		for _, k := range keys[id] {
+			b := bucketOf(k)
+			if b == id {
+				local = append(local, k)
+				continue
+			}
+			pr.Send(b, 2, k, 0)
+		}
+		for int64(len(local)) < incoming {
+			local = append(local, pr.Recv().Payload)
+		}
+		sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+		pr.Compute(int64(len(local)) * 6)
+	}
+}
+
+// E10Portability runs one BSP program, unmodified, on every Table 1
+// topology via the packet-level netrun machine, and compares the
+// measured time against the abstract prediction w + g*h + l using the
+// topology's fitted parameters — the paper's portability thesis made
+// end-to-end: performance moves with (gamma, delta), correctness never
+// does.
+func E10Portability(cfg Config) *Table {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Portability: one BSP program on every Table 1 topology (measured vs g,l prediction)",
+		Columns: []string{"topology", "p", "T-meas", "T-pred", "meas/pred", "supersteps"},
+		Notes:   []string{"prediction = sum(w + g_fit*h + l_fit) with the topology's fitted parameters"},
+	}
+	target := 64
+	hs := []int{1, 2, 4, 8}
+	if !cfg.Quick {
+		target = 256
+		hs = []int{1, 2, 4, 8, 16}
+	}
+	graphs := table1Graphs(target)
+	// The portable program: a three-superstep neighborhood exchange
+	// with data-dependent forwarding. p differs per topology, so the
+	// program only uses pr.P().
+	prog := func(pr bsp.Proc) {
+		n := pr.P()
+		id := pr.ID()
+		for k := 1; k <= 4; k++ {
+			pr.Send((id+k)%n, 0, int64(id+k), 0)
+		}
+		pr.Compute(16)
+		pr.Sync()
+		var sum int64
+		for {
+			m, ok := pr.Recv()
+			if !ok {
+				break
+			}
+			sum += m.Payload
+		}
+		pr.Send(int(sum)%n, 1, sum, 0)
+		pr.Sync()
+		for {
+			if _, ok := pr.Recv(); !ok {
+				break
+			}
+		}
+	}
+	for _, g := range graphs {
+		meas := netsim.MeasureGL(g, hs, 3, cfg.Seed, false)
+		net := netsim.New(g)
+		m := netrun.NewMachine(net)
+		res, err := m.Run(prog)
+		must(err)
+		pred := res.Predict(int64(meas.G+0.5), int64(meas.L+0.5))
+		ratio := 0.0
+		if pred > 0 {
+			ratio = float64(res.Time) / float64(pred)
+		}
+		t.AddRow(g.Name, g.P(), res.Time, pred, ratio, res.Supersteps)
+	}
+	return t
+}

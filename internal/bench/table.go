@@ -1,0 +1,137 @@
+// Package bench regenerates the paper's quantitative content: Table 1
+// and the measurable claims of Theorems 1-3, Propositions 1-2, the
+// stalling analysis, and Observation 1. Each experiment (E1..E8,
+// indexed in DESIGN.md) produces a Table that cmd/bsplogp prints and
+// EXPERIMENTS.md records.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row; values are Sprint-ed.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = formatFloat(x)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(x float64) string {
+	switch {
+	case x == 0:
+		return "0"
+	case x >= 1000:
+		return fmt.Sprintf("%.0f", x)
+	case x >= 10:
+		return fmt.Sprintf("%.1f", x)
+	default:
+		return fmt.Sprintf("%.2f", x)
+	}
+}
+
+// Render produces an aligned plain-text table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Config scales the experiments.
+type Config struct {
+	// Quick shrinks processor counts and trial counts for tests.
+	Quick bool
+	// Seed drives every random choice.
+	Seed uint64
+}
+
+// Experiment couples an id with its generator.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(Config) *Table
+}
+
+// All lists every experiment in DESIGN.md order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Table 1: topology parameters, analytic and measured", E1Table1},
+		{"E2", "Theorem 1: LogP-on-BSP slowdown", E2LogPOnBSP},
+		{"E3", "Theorem 2: BSP-on-LogP deterministic slowdown S(L,G,p,h)", E3BSPOnLogPDet},
+		{"E4", "Theorem 3: randomized routing vs beta*G*h", E4Randomized},
+		{"E5", "Propositions 1-2: Combine-and-Broadcast time", E5CombineBroadcast},
+		{"E6", "Stalling: hot-spot behaviour and the stalling extension", E6Stalling},
+		{"E7", "Observation 1: best attainable (g*,l*) vs (G*,L*)", E7Observation1},
+		{"E8", "Off-line routing: measured vs 2o+G(h-1)+L", E8Offline},
+		{"E9", "Section 6: radix-sort bucket exchange vs key skew", E9RadixSkew},
+		{"E10", "Portability: one BSP program on every topology", E10Portability},
+		{"E11", "Section 6: partitionability / multiuser operation", E11Partitionability},
+		{"E12", "Section 6: parameter changes and program behaviour", E12ParameterPortability},
+		{"E13", "Section 5: LogP directly on each topology", E13LogPOnNetworks},
+		{"A1", "Ablation: delivery-time policy", A1DeliveryPolicy},
+		{"A2", "Ablation: CB tree arity", A2CBArity},
+		{"A3", "Ablation: randomized batch factor", A3BatchFactor},
+		{"A4", "Ablation: oblivious sorter", A4Sorter},
+		{"A5", "Ablation: Theorem 1 cycle length", A5CycleLen},
+		{"A6", "Ablation: Stalling Rule acceptance order", A6AcceptOrder},
+	}
+}
+
+// Lookup finds an experiment by id (case-insensitive).
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,303 @@
+// Package bsp implements Valiant's Bulk-Synchronous Parallel model as
+// an executable virtual machine, following the definition in Section
+// 2.1 of Bilardi et al., "BSP vs LogP".
+//
+// A BSP machine executes a sequence of supersteps. Within a superstep
+// each processor extracts messages from its input pool, computes on
+// local data, and inserts messages into its output pool; the superstep
+// ends with a global barrier, at which every output-pool message moves
+// to its destination's input pool (discarding whatever was left there)
+// and the machine charges
+//
+//	T_superstep = w + g*h + l
+//
+// where w is the maximum local work, h the maximum number of messages
+// sent or received by any processor, and g, l the machine's bandwidth
+// and latency/synchronization parameters.
+//
+// Unlike the LogP engine (which must serialize processors to model
+// fine-grained timing), processors here run with genuine goroutine
+// parallelism between barriers: the BSP cost model only needs per-
+// superstep aggregates, so the engine lets the host's cores do the
+// local-computation phases concurrently.
+package bsp
+
+import "fmt"
+
+// Params carries the BSP machine parameters g (bandwidth inverse) and
+// L (here: the paper's l, the barrier/latency term).
+type Params struct {
+	// P is the number of processors.
+	P int
+	// G is the paper's g: the time per message of an h-relation, so
+	// that routing costs g*h.
+	G int64
+	// L is the paper's l: an upper bound on barrier synchronization
+	// time, charged once per superstep.
+	L int64
+}
+
+// Validate checks the parameters: P >= 1, g >= 1, l >= 1.
+func (p Params) Validate() error {
+	if p.P < 1 {
+		return fmt.Errorf("bsp: P = %d, need at least one processor", p.P)
+	}
+	if p.G < 1 {
+		return fmt.Errorf("bsp: g = %d, need g >= 1", p.G)
+	}
+	if p.L < 1 {
+		return fmt.Errorf("bsp: l = %d, need l >= 1", p.L)
+	}
+	return nil
+}
+
+// String renders the parameters compactly, e.g. "BSP(p=16 g=2 l=64)".
+func (p Params) String() string {
+	return fmt.Sprintf("BSP(p=%d g=%d l=%d)", p.P, p.G, p.L)
+}
+
+// Message is the unit of communication; the field layout matches
+// logp.Message so cross-simulators can translate mechanically.
+type Message struct {
+	Src, Dst int
+	Tag      int32
+	Payload  int64
+	Aux      int64
+}
+
+// Proc is the interface a BSP program uses to drive its processor.
+// It is an interface so the cross-simulator in internal/core can run
+// unmodified BSP programs on a LogP substrate (Theorems 2 and 3).
+type Proc interface {
+	// ID returns this processor's identifier in [0, P()).
+	ID() int
+	// P returns the number of processors.
+	P() int
+	// Params returns the machine parameters.
+	Params() Params
+	// Compute charges n >= 0 units of local work to the current
+	// superstep.
+	Compute(n int64)
+	// Send inserts a message into the output pool. It is delivered
+	// to dst's input pool at the next barrier. Sending to self is
+	// allowed in BSP (the message traverses the communication
+	// medium and counts toward h).
+	Send(dst int, tag int32, payload, aux int64)
+	// Recv extracts the next message from the input pool, which
+	// holds the messages delivered at the last barrier. It reports
+	// false when the pool is empty.
+	Recv() (Message, bool)
+	// Inbox returns the number of messages left in the input pool.
+	Inbox() int
+	// Sync ends the superstep: it blocks until all processors reach
+	// their barrier, then resumes with the input pool replaced by
+	// the newly delivered messages.
+	Sync()
+	// Superstep returns the index of the current superstep,
+	// starting from 0.
+	Superstep() int
+}
+
+// Program is the code executed by every processor of a Machine.
+type Program func(p Proc)
+
+// SuperstepCost records the three cost components of one superstep.
+type SuperstepCost struct {
+	W int64 // max local operations on any processor
+	H int64 // max messages sent or received by any processor
+}
+
+// Time returns w + g*h + l under the given parameters, or zero for an
+// empty trailing superstep (no work, no messages).
+func (s SuperstepCost) Time(params Params) int64 {
+	if s.W == 0 && s.H == 0 {
+		return 0
+	}
+	return s.W + params.G*s.H + params.L
+}
+
+// Result reports the outcome of executing a Program.
+type Result struct {
+	// Time is the total BSP time: the sum of superstep costs.
+	Time int64
+	// Supersteps is the number of charged supersteps.
+	Supersteps int
+	// MessagesSent counts all messages routed.
+	MessagesSent int64
+	// Costs holds the per-superstep cost components, in order.
+	Costs []SuperstepCost
+}
+
+// HSum returns the sum of h over all supersteps, the quantity the
+// randomized simulation of Theorem 3 bounds by O(G * sum h_i).
+func (r Result) HSum() int64 {
+	var s int64
+	for _, c := range r.Costs {
+		s += c.H
+	}
+	return s
+}
+
+// Machine is an executable BSP virtual machine. It is not safe for
+// concurrent use; a single Run executes at a time.
+type Machine struct {
+	params Params
+}
+
+// NewMachine builds a machine with the given parameters, panicking on
+// invalid ones (an experiment-setup error).
+func NewMachine(params Params) *Machine {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	return &Machine{params: params}
+}
+
+// Params returns the machine parameters.
+func (m *Machine) Params() Params { return m.params }
+
+type syncReport struct {
+	id       int
+	work     int64
+	outbox   []Message
+	finished bool
+	err      error
+}
+
+type proc struct {
+	id        int
+	m         *Machine
+	work      int64
+	outbox    []Message
+	inbox     []Message
+	inboxPos  int
+	superstep int
+
+	report  chan<- syncReport
+	release chan []Message
+}
+
+var _ Proc = (*proc)(nil)
+
+func (p *proc) ID() int        { return p.id }
+func (p *proc) P() int         { return p.m.params.P }
+func (p *proc) Params() Params { return p.m.params }
+func (p *proc) Superstep() int { return p.superstep }
+
+func (p *proc) Compute(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("bsp: Compute(%d) with negative work", n))
+	}
+	p.work += n
+}
+
+func (p *proc) Send(dst int, tag int32, payload, aux int64) {
+	if dst < 0 || dst >= p.m.params.P {
+		panic(fmt.Sprintf("bsp: Send to invalid destination %d (P=%d)", dst, p.m.params.P))
+	}
+	p.outbox = append(p.outbox, Message{Src: p.id, Dst: dst, Tag: tag, Payload: payload, Aux: aux})
+}
+
+func (p *proc) Recv() (Message, bool) {
+	if p.inboxPos >= len(p.inbox) {
+		return Message{}, false
+	}
+	msg := p.inbox[p.inboxPos]
+	p.inboxPos++
+	return msg, true
+}
+
+func (p *proc) Inbox() int { return len(p.inbox) - p.inboxPos }
+
+func (p *proc) Sync() {
+	p.report <- syncReport{id: p.id, work: p.work, outbox: p.outbox}
+	// The coordinator replaces the input pool; prior contents are
+	// discarded per the model.
+	p.inbox = <-p.release
+	p.inboxPos = 0
+	p.work = 0
+	p.outbox = nil
+	p.superstep++
+}
+
+// Run executes prog on every processor and returns the accumulated
+// cost. Programs on distinct processors run concurrently between
+// barriers; they must not share mutable state except through messages
+// or per-processor slots.
+func (m *Machine) Run(prog Program) (Result, error) {
+	n := m.params.P
+	reports := make(chan syncReport, n)
+	procs := make([]*proc, n)
+	for i := 0; i < n; i++ {
+		procs[i] = &proc{
+			id:      i,
+			m:       m,
+			report:  reports,
+			release: make(chan []Message, 1),
+		}
+		go func(p *proc) {
+			defer func() {
+				if r := recover(); r != nil {
+					reports <- syncReport{id: p.id, finished: true, err: fmt.Errorf("bsp: processor %d panicked: %v", p.id, r)}
+					return
+				}
+				reports <- syncReport{id: p.id, work: p.work, outbox: p.outbox, finished: true}
+			}()
+			prog(p)
+		}(procs[i])
+	}
+
+	var res Result
+	var firstErr error
+	active := n
+	finished := make([]bool, n)
+	for active > 0 {
+		// Collect exactly one report (Sync or finish) per active
+		// processor; this is the barrier.
+		inboxes := make([][]Message, n)
+		var cost SuperstepCost
+		synced := make([]int, 0, active)
+		got := 0
+		for got < active {
+			rep := <-reports
+			got++
+			if rep.err != nil && firstErr == nil {
+				firstErr = rep.err
+			}
+			if rep.work > cost.W {
+				cost.W = rep.work
+			}
+			if s := int64(len(rep.outbox)); s > cost.H {
+				cost.H = s
+			}
+			for _, msg := range rep.outbox {
+				inboxes[msg.Dst] = append(inboxes[msg.Dst], msg)
+				res.MessagesSent++
+			}
+			if rep.finished {
+				finished[rep.id] = true
+			} else {
+				synced = append(synced, rep.id)
+			}
+		}
+		for _, in := range inboxes {
+			if r := int64(len(in)); r > cost.H {
+				cost.H = r
+			}
+		}
+		if t := cost.Time(m.params); t > 0 {
+			res.Time += t
+			res.Supersteps++
+			res.Costs = append(res.Costs, cost)
+		}
+		for _, id := range synced {
+			procs[id].release <- inboxes[id]
+		}
+		active = len(synced)
+	}
+
+	if firstErr != nil {
+		return res, firstErr
+	}
+	return res, nil
+}

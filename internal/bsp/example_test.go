@@ -1,0 +1,39 @@
+package bsp_test
+
+import (
+	"fmt"
+
+	"repro/internal/bsp"
+)
+
+// A one-superstep total exchange: every processor sends its id to
+// everyone else and sums what it receives. The superstep costs
+// w + g*h + l with h = p-1.
+func ExampleMachine_Run() {
+	params := bsp.Params{P: 4, G: 2, L: 10}
+	sums := make([]int64, params.P)
+	res, err := bsp.NewMachine(params).Run(func(p bsp.Proc) {
+		for j := 0; j < p.P(); j++ {
+			if j != p.ID() {
+				p.Send(j, 0, int64(p.ID()), 0)
+			}
+		}
+		p.Compute(1)
+		p.Sync()
+		for {
+			m, ok := p.Recv()
+			if !ok {
+				break
+			}
+			sums[p.ID()] += m.Payload
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sum at processor 0:", sums[0])
+	fmt.Println("supersteps:", res.Supersteps, "time:", res.Time)
+	// Output:
+	// sum at processor 0: 6
+	// supersteps: 1 time: 17
+}

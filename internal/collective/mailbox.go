@@ -1,0 +1,105 @@
+// Package collective implements the LogP collective operations the
+// paper builds its BSP-on-LogP simulation from: Combine-and-Broadcast
+// (CB) on a ceil(L/G)-ary tree (Section 4.1), the barrier derived from
+// it, and tree broadcasts, including the greedy LogP broadcast tree of
+// Karp et al. that the paper cites as the alternative optimal CB.
+//
+// All collectives are written against logp.Proc, so they run unchanged
+// on the native LogP machine and on the Theorem 1 cross-simulator.
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/logp"
+)
+
+// Mailbox layers selective receive over a logp.Proc. LogP delivery
+// order is nondeterministic, so a protocol phase may acquire messages
+// that belong to a later phase; the mailbox holds them until a matching
+// receive asks for them. Every protocol in this package multiplexes one
+// processor's traffic through a single Mailbox.
+type Mailbox struct {
+	Proc logp.Proc
+	held []logp.Message
+	seqs map[int32]int64
+}
+
+// NewMailbox wraps p.
+func NewMailbox(p logp.Proc) *Mailbox {
+	return &Mailbox{Proc: p, seqs: make(map[int32]int64)}
+}
+
+// NextSeq returns consecutive sequence numbers per tag, starting at 0.
+// Collectives stamp their messages with the sequence so that two
+// instances of the same collective cannot exchange messages even when
+// the medium reorders traffic between the same endpoints.
+func (mb *Mailbox) NextSeq(tag int32) int64 {
+	s := mb.seqs[tag]
+	mb.seqs[tag] = s + 1
+	return s
+}
+
+// RecvWhere blocks until a message satisfying match is available,
+// holding every other message for later receives.
+func (mb *Mailbox) RecvWhere(match func(logp.Message) bool) logp.Message {
+	for i, m := range mb.held {
+		if match(m) {
+			mb.held = append(mb.held[:i], mb.held[i+1:]...)
+			return m
+		}
+	}
+	for {
+		m := mb.Proc.Recv()
+		if match(m) {
+			return m
+		}
+		mb.held = append(mb.held, m)
+	}
+}
+
+// RecvTagSeq receives the next message with the given tag and Aux
+// sequence stamp.
+func (mb *Mailbox) RecvTagSeq(tag int32, seq int64) logp.Message {
+	return mb.RecvWhere(func(m logp.Message) bool {
+		return m.Tag == tag && m.Aux == seq
+	})
+}
+
+// RecvTag receives the next message with the given tag, regardless of
+// its Aux word.
+func (mb *Mailbox) RecvTag(tag int32) logp.Message {
+	return mb.RecvWhere(func(m logp.Message) bool { return m.Tag == tag })
+}
+
+// Held reports how many messages are parked for later phases.
+func (mb *Mailbox) Held() int { return len(mb.held) }
+
+// Hold parks a message acquired outside the mailbox (e.g. by a raw
+// TryRecv loop) so that a later RecvWhere can find it.
+func (mb *Mailbox) Hold(m logp.Message) { mb.held = append(mb.held, m) }
+
+// TakeMatching removes and returns every held message satisfying
+// match, preserving arrival order. It does not touch the machine
+// buffer; callers polling with TryRecv combine both sources.
+func (mb *Mailbox) TakeMatching(match func(logp.Message) bool) []logp.Message {
+	var out []logp.Message
+	rest := mb.held[:0]
+	for _, m := range mb.held {
+		if match(m) {
+			out = append(out, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	mb.held = rest
+	return out
+}
+
+// AssertDrained panics if messages are still held; protocols call it at
+// natural quiescence points in tests.
+func (mb *Mailbox) AssertDrained() {
+	if len(mb.held) != 0 {
+		panic(fmt.Sprintf("collective: processor %d mailbox still holds %d messages", mb.Proc.ID(), len(mb.held)))
+	}
+}

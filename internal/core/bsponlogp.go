@@ -1,0 +1,604 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bsp"
+	"repro/internal/collective"
+	"repro/internal/logp"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// Router selects the h-relation routing protocol used to realize each
+// superstep's communication phase on the LogP host.
+type Router uint8
+
+const (
+	// RouterDeterministic is Theorem 2's protocol: compute r by CB,
+	// pad with dummies, sort messages by destination on an oblivious
+	// sorting network, compute s, then deliver rank classes mod h in
+	// pipelined cycles. Stall-free; requires a power-of-two p for
+	// the bitonic network.
+	RouterDeterministic Router = iota
+	// RouterRandomized is Theorem 3's protocol: with h known in
+	// advance, split messages into R = (1+beta)h/ceil(L/G) random
+	// batches and transmit one batch per 2(L+o)-step round, followed
+	// by a cleanup phase. Stalls only with polynomially small
+	// probability.
+	RouterRandomized
+	// RouterOffline is the Section 4.2 off-line strategy for
+	// input-independent relations: decompose into h 1-relations by
+	// Hall's theorem and route them pipelined, in 2o + G(h-1) + L.
+	RouterOffline
+)
+
+func (r Router) String() string {
+	switch r {
+	case RouterDeterministic:
+		return "deterministic"
+	case RouterRandomized:
+		return "randomized"
+	case RouterOffline:
+		return "offline"
+	default:
+		return fmt.Sprintf("Router(%d)", uint8(r))
+	}
+}
+
+// BSPOnLogP executes unmodified BSP programs on a LogP machine,
+// superstep by superstep: local computation runs directly, the barrier
+// is the Combine-and-Broadcast of Proposition 2, and the communication
+// phase is realized by the selected Router.
+type BSPOnLogP struct {
+	// LogP holds the host machine parameters.
+	LogP logp.Params
+	// Router selects the routing protocol (default deterministic).
+	Router Router
+	// Policy is the host delivery policy (default max-latency).
+	Policy logp.DeliveryPolicy
+	// Seed seeds the host machine and the randomized router.
+	Seed uint64
+	// Beta is the randomized router's batch inflation factor
+	// (0 selects 1, the smallest value Theorem 3's constant allows).
+	Beta float64
+	// Sort selects the deterministic router's oblivious sorting
+	// algorithm (default SortAuto).
+	Sort SortAlgo
+	// Guest holds the guest BSP parameters used for native-cost
+	// accounting; the zero value selects matched g = G, l = L.
+	Guest bsp.Params
+	// StrictStallFree makes Run fail if the host execution stalls;
+	// used to certify Theorem 2's stall-freedom.
+	StrictStallFree bool
+	// EventLog, when non-nil, receives every host-machine event
+	// (message lifecycle tracing; see logp.WithEventLog).
+	EventLog func(logp.Event)
+}
+
+// Thm2Result reports a BSPOnLogP execution.
+type Thm2Result struct {
+	// HostTime is the measured LogP completion time.
+	HostTime int64
+	// GuestTime is the native BSP cost of the same execution
+	// (sum of w + g*h + l over charged supersteps), the slowdown
+	// denominator.
+	GuestTime int64
+	// Supersteps counts charged supersteps.
+	Supersteps int
+	// MessagesRouted counts BSP messages carried through the host
+	// network (self-sends excluded).
+	MessagesRouted int64
+	// SuperstepH records the routed relation degree per superstep.
+	SuperstepH []int64
+	// Host is the raw LogP machine result (stall statistics etc.).
+	Host logp.Result
+	// GuestCosts holds the native per-superstep cost components.
+	GuestCosts []bsp.SuperstepCost
+}
+
+// Slowdown returns HostTime/GuestTime, the quantity Theorem 2 bounds
+// by S(L,G,p,h).
+func (r Thm2Result) Slowdown() float64 {
+	if r.GuestTime == 0 {
+		return 1
+	}
+	return float64(r.HostTime) / float64(r.GuestTime)
+}
+
+func (s *BSPOnLogP) guestParams() bsp.Params {
+	if s.Guest.P != 0 {
+		return s.Guest
+	}
+	g, l := matchedParams(s.LogP)
+	return bsp.Params{P: s.LogP.P, G: g, L: l}
+}
+
+// Run executes prog and returns the measured host and guest costs.
+func (s *BSPOnLogP) Run(prog bsp.Program) (Thm2Result, error) {
+	if err := s.LogP.Validate(); err != nil {
+		return Thm2Result{}, err
+	}
+	if s.Router == RouterDeterministic && s.Sort == SortBitonic && !isPow2(s.LogP.P) {
+		return Thm2Result{}, fmt.Errorf("core: the bitonic network needs a power-of-two p, got %d (use SortAuto or SortColumnsort)", s.LogP.P)
+	}
+	guest := s.guestParams()
+	if guest.P != s.LogP.P {
+		return Thm2Result{}, fmt.Errorf("core: guest has %d processors, host %d", guest.P, s.LogP.P)
+	}
+	sim := &bspSim{
+		spec:     s,
+		lp:       s.LogP,
+		guest:    guest,
+		steps:    map[int]*stepState{},
+		capacity: s.LogP.Capacity(),
+	}
+	opts := []logp.Option{
+		logp.WithDeliveryPolicy(s.Policy),
+		logp.WithSeed(s.Seed),
+	}
+	if s.StrictStallFree {
+		opts = append(opts, logp.WithStrictStallFree())
+	}
+	if s.EventLog != nil {
+		opts = append(opts, logp.WithEventLog(s.EventLog))
+	}
+	m := logp.NewMachine(s.LogP, opts...)
+	hostRes, err := m.Run(func(lp logp.Proc) {
+		a := &bspAdapter{
+			lp:  lp,
+			mb:  collective.NewMailbox(lp),
+			sim: sim,
+			rng: stats.NewRNG(s.Seed ^ (uint64(lp.ID())+1)*0x9e3779b97f4a7c15),
+		}
+		prog(a)
+		a.finish()
+	})
+	res := Thm2Result{
+		HostTime:       hostRes.Time,
+		Host:           hostRes,
+		MessagesRouted: sim.routedMsgs,
+		SuperstepH:     sim.stepH,
+		GuestCosts:     sim.guestCosts,
+	}
+	for _, c := range sim.guestCosts {
+		res.GuestTime += c.Time(guest)
+		res.Supersteps++
+	}
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// bspSim is the shared meta-state of one cross-simulation. The LogP
+// engine serializes processor execution, so no locking is needed.
+type bspSim struct {
+	spec     *BSPOnLogP
+	lp       logp.Params
+	guest    bsp.Params
+	capacity int64
+	steps    map[int]*stepState
+
+	guestCosts []bsp.SuperstepCost
+	stepH      []int64
+	routedMsgs int64
+	colScheds  map[int]*columnSched
+}
+
+// stepState aggregates one superstep across processors.
+type stepState struct {
+	registered int
+	finished   int
+	workMax    int64
+	hGuest     int64 // includes self-sends (matches bsp.Machine)
+	outSelf    [][]bsp.Message
+	outRouted  [][]bsp.Message
+
+	metaDone bool
+	h        int64 // degree of the routed relation
+	maxOut   int64
+	indeg    []int64
+	classOf  [][]int // offline: routing cycle of each routed item
+}
+
+func (sim *bspSim) step(k int) *stepState {
+	st := sim.steps[k]
+	if st == nil {
+		p := sim.lp.P
+		st = &stepState{
+			outSelf:   make([][]bsp.Message, p),
+			outRouted: make([][]bsp.Message, p),
+		}
+		sim.steps[k] = st
+	}
+	return st
+}
+
+func (sim *bspSim) register(k, id int, outbox []bsp.Message, work int64) {
+	st := sim.step(k)
+	for _, m := range outbox {
+		if m.Dst == id {
+			st.outSelf[id] = append(st.outSelf[id], m)
+		} else {
+			st.outRouted[id] = append(st.outRouted[id], m)
+		}
+	}
+	if work > st.workMax {
+		st.workMax = work
+	}
+	st.registered++
+}
+
+// ensureMeta computes the relation aggregates once all processors have
+// registered (guaranteed after the barrier CB).
+func (st *stepState) ensureMeta(p int) {
+	if st.metaDone {
+		return
+	}
+	if st.registered != p {
+		panic(fmt.Sprintf("core: meta requested with %d/%d processors registered (bug)", st.registered, p))
+	}
+	st.indeg = make([]int64, p)
+	inSelf := make([]int64, p)
+	for i := 0; i < p; i++ {
+		out := int64(len(st.outRouted[i]))
+		if out > st.maxOut {
+			st.maxOut = out
+		}
+		outAll := out + int64(len(st.outSelf[i]))
+		if outAll > st.hGuest {
+			st.hGuest = outAll
+		}
+		for _, m := range st.outRouted[i] {
+			st.indeg[m.Dst]++
+		}
+		inSelf[i] = int64(len(st.outSelf[i]))
+	}
+	st.h = st.maxOut
+	for i, d := range st.indeg {
+		if d > st.h {
+			st.h = d
+		}
+		if d+inSelf[i] > st.hGuest {
+			st.hGuest = d + inSelf[i]
+		}
+	}
+	st.metaDone = true
+}
+
+// ensureDecomposition computes the off-line Hall decomposition.
+func (st *stepState) ensureDecomposition(p int) {
+	st.ensureMeta(p)
+	if st.classOf != nil || st.h == 0 {
+		return
+	}
+	rel := relation.Relation{P: p}
+	var owners []struct{ proc, idx int }
+	for i := 0; i < p; i++ {
+		for j, m := range st.outRouted[i] {
+			rel.Pairs = append(rel.Pairs, relation.Pair{Src: i, Dst: m.Dst})
+			owners = append(owners, struct{ proc, idx int }{i, j})
+		}
+	}
+	classes, _ := relation.DecomposeIndexed(rel)
+	st.classOf = make([][]int, p)
+	for i := 0; i < p; i++ {
+		st.classOf[i] = make([]int, len(st.outRouted[i]))
+	}
+	for k, c := range classes {
+		o := owners[k]
+		st.classOf[o.proc][o.idx] = c
+	}
+}
+
+// finishStep releases per-step state once every processor is done with
+// it, committing the guest-side cost.
+func (sim *bspSim) finishStep(k int) {
+	st := sim.steps[k]
+	st.finished++
+	if st.finished < sim.lp.P {
+		return
+	}
+	st.ensureMeta(sim.lp.P)
+	cost := bsp.SuperstepCost{W: st.workMax, H: st.hGuest}
+	if cost.W > 0 || cost.H > 0 {
+		sim.guestCosts = append(sim.guestCosts, cost)
+		sim.stepH = append(sim.stepH, st.h)
+	}
+	for i := 0; i < sim.lp.P; i++ {
+		sim.routedMsgs += int64(len(st.outRouted[i]))
+	}
+	delete(sim.steps, k)
+}
+
+// bspAdapter implements bsp.Proc on top of a LogP processor.
+type bspAdapter struct {
+	lp  logp.Proc
+	mb  *collective.Mailbox
+	sim *bspSim
+	rng *stats.RNG
+
+	step     int
+	work     int64
+	outbox   []bsp.Message
+	inbox    []bsp.Message
+	inboxPos int
+}
+
+var _ bsp.Proc = (*bspAdapter)(nil)
+
+func (a *bspAdapter) ID() int            { return a.lp.ID() }
+func (a *bspAdapter) P() int             { return a.lp.P() }
+func (a *bspAdapter) Params() bsp.Params { return a.sim.guest }
+func (a *bspAdapter) Superstep() int     { return a.step }
+func (a *bspAdapter) Inbox() int         { return len(a.inbox) - a.inboxPos }
+
+func (a *bspAdapter) Compute(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("core: Compute(%d) with negative work", n))
+	}
+	a.work += n
+	a.lp.Compute(n)
+}
+
+func (a *bspAdapter) Send(dst int, tag int32, payload, aux int64) {
+	if dst < 0 || dst >= a.lp.P() {
+		panic(fmt.Sprintf("core: Send to invalid destination %d (P=%d)", dst, a.lp.P()))
+	}
+	a.outbox = append(a.outbox, bsp.Message{Src: a.lp.ID(), Dst: dst, Tag: tag, Payload: payload, Aux: aux})
+}
+
+func (a *bspAdapter) Recv() (bsp.Message, bool) {
+	if a.inboxPos >= len(a.inbox) {
+		return bsp.Message{}, false
+	}
+	m := a.inbox[a.inboxPos]
+	a.inboxPos++
+	return m, true
+}
+
+func (a *bspAdapter) Sync() { a.barrierAndRoute(false) }
+
+// finish keeps the processor participating in barriers and routing
+// after its program returned, until every processor has finished —
+// BSP allows uneven termination but the LogP collectives structurally
+// involve all processors.
+func (a *bspAdapter) finish() {
+	for !a.barrierAndRoute(true) {
+	}
+}
+
+func (a *bspAdapter) barrierAndRoute(finished bool) (allDone bool) {
+	id := a.lp.ID()
+	a.sim.register(a.step, id, a.outbox, a.work)
+	flag := int64(0)
+	if finished {
+		flag = 1
+	}
+	done := collective.CombineBroadcast(a.mb, tagBarrier, flag, collective.OpAnd)
+
+	st := a.sim.step(a.step)
+	dtag := dataTag(a.step)
+	var received []logp.Message
+	switch a.sim.spec.Router {
+	case RouterDeterministic:
+		received = a.routeDeterministic(st, dtag)
+	case RouterRandomized:
+		received = a.routeRandomized(st, dtag)
+	case RouterOffline:
+		received = a.routeOffline(st, dtag)
+	default:
+		panic("core: unknown router")
+	}
+
+	inbox := make([]bsp.Message, 0, len(received)+len(st.outSelf[id]))
+	for _, m := range received {
+		inbox = append(inbox, m.Body.(bsp.Message))
+	}
+	inbox = append(inbox, st.outSelf[id]...)
+	a.sim.finishStep(a.step)
+
+	a.inbox = inbox
+	a.inboxPos = 0
+	a.outbox = nil
+	a.work = 0
+	a.step++
+	return done == 1
+}
+
+// Tag layout used by the cross-simulation protocols.
+const (
+	tagRCount int32 = -96 // CB for r (descend -95)
+	tagSumUp  int32 = -92 // summary-reduce ascend
+	tagSBcast int32 = -90 // broadcast of s
+	tagBaseCB int32 = -88 // CB(MAX now) for base-time agreement (descend -87)
+	tagSort   int32 = -84 // sorting-network exchanges
+	tagNeigh  int32 = -82 // columnsort boundary exchange
+)
+
+// alignSlack bounds the time between the last processor joining a CB
+// and the last processor leaving it; globalBase uses it to pick a
+// common future instant all processors can reach. Per tree level the
+// ascend costs at most one delivery (L) plus overheads plus the
+// receiving parent's d gap-spaced acquisitions, and when the capacity
+// is 1 the paper's even/odd schedule can add a 2L slot wait; the
+// descend costs one delivery plus the parent's d gap-spaced sends.
+func alignSlack(params logp.Params) int64 {
+	d := collective.TreeArity(params)
+	levels := int64(0)
+	for v := 1; v < params.P; v *= d {
+		levels++
+	}
+	perLevel := 2*(params.L+2*params.O) + 2*int64(d)*params.G
+	if params.Capacity() == 1 {
+		perLevel += 2 * params.L
+	}
+	return levels*perLevel + 2*params.L + 4*params.O
+}
+
+// globalBase agrees on a common future time: every processor learns
+// the maximum joining time via CB(MAX) and idles until that plus the
+// CB completion slack. All processors return the same value.
+func (a *bspAdapter) globalBase() int64 {
+	join := a.lp.Now()
+	tstar := collective.CombineBroadcast(a.mb, tagBaseCB, join, collective.OpMax)
+	base := tstar + alignSlack(a.lp.Params())
+	if a.lp.Now() > base {
+		panic(fmt.Sprintf("core: processor %d passed the agreed base time (now %d > base %d); alignSlack too small", a.lp.ID(), a.lp.Now(), base))
+	}
+	return base
+}
+
+// deliverWindowed realizes Step 4 of the routing protocols: pipelined
+// delivery cycles every G steps, with at most one message per
+// processor per cycle (sched maps cycle index to message), interleaved
+// with opportunistic acquisitions; all arrivals land by the deadline
+// base + h*G + L, after which the input buffer is drained. Cycle c's
+// submission instant is base + (c+1)*G: the +G offset leaves room for
+// the o preparation overhead of cycle 0 after the base alignment, so
+// every processor's submissions share one grid — mixed grids could
+// transiently exceed the capacity bound and stall.
+func (a *bspAdapter) deliverWindowed(sched map[int64]bsp.Message, h, base int64, dtag int32) []logp.Message {
+	lp := a.lp
+	params := lp.Params()
+	match := func(m logp.Message) bool { return m.Tag == dtag }
+	got := a.mb.TakeMatching(match)
+	classify := func(m logp.Message) {
+		if match(m) {
+			got = append(got, m)
+		} else {
+			a.mb.Hold(m)
+		}
+	}
+	for c := int64(0); c < h; c++ {
+		slot := base + (c+1)*params.G
+		if item, ok := sched[c]; ok {
+			lp.WaitUntil(slot - params.O)
+			lp.SendBody(item.Dst, dtag, item.Payload, item.Aux, item)
+		}
+		next := slot + params.G
+		for lp.Buffered() > 0 && lp.Now()+2*params.O <= next {
+			if m, ok := lp.TryRecv(); ok {
+				classify(m)
+			}
+		}
+	}
+	deadline := base + h*params.G + params.L
+	lp.WaitUntil(deadline)
+	for lp.Buffered() > 0 {
+		classify(lp.Recv())
+	}
+	return got
+}
+
+// routeOffline is the Section 4.2 off-line strategy: the relation is
+// known in advance (here: from the shared meta-state, per the paper's
+// premise), decomposed into h 1-relations by Hall's theorem, and
+// routed pipelined in 2o + G(h-1) + L.
+func (a *bspAdapter) routeOffline(st *stepState, dtag int32) []logp.Message {
+	p := a.lp.P()
+	st.ensureDecomposition(p)
+	if st.h == 0 {
+		return nil
+	}
+	base := a.globalBase()
+	id := a.lp.ID()
+	sched := make(map[int64]bsp.Message, len(st.outRouted[id]))
+	for j, m := range st.outRouted[id] {
+		sched[int64(st.classOf[id][j])] = m
+	}
+	return a.deliverWindowed(sched, st.h, base, dtag)
+}
+
+// routeRandomized is Theorem 3's protocol. The degree h is assumed
+// known in advance (taken from the meta-state); messages are assigned
+// uniform random batches, one batch is transmitted per 2(L+o)-step
+// round with at most capacity messages per processor, and leftovers
+// go out in a cleanup phase that may stall.
+func (a *bspAdapter) routeRandomized(st *stepState, dtag int32) []logp.Message {
+	lp := a.lp
+	p := lp.P()
+	st.ensureMeta(p)
+	if st.h == 0 {
+		return nil
+	}
+	params := lp.Params()
+	capacity := a.sim.capacity
+	beta := a.sim.spec.Beta
+	if beta <= 0 {
+		beta = 1
+	}
+	rounds := stats.Theorem3Rounds(int(st.h), int(capacity), beta)
+	id := lp.ID()
+	mine := st.outRouted[id]
+	batches := make([][]bsp.Message, rounds)
+	for _, m := range mine {
+		b := a.rng.Intn(rounds)
+		batches[b] = append(batches[b], m)
+	}
+	base := a.globalBase()
+	roundLen := 2 * (params.L + params.O)
+	var leftovers []bsp.Message
+	for j := 0; j < rounds; j++ {
+		start := base + int64(j)*roundLen
+		lp.WaitUntil(start)
+		sent := int64(0)
+		for _, m := range batches[j] {
+			if sent >= capacity {
+				leftovers = append(leftovers, m)
+				continue
+			}
+			lp.SendBody(m.Dst, dtag, m.Payload, m.Aux, m)
+			sent++
+		}
+	}
+	// Cleanup phase: transmit the remainder, one submission every G
+	// (the gap rule enforces the spacing); these may stall.
+	for _, m := range leftovers {
+		lp.SendBody(m.Dst, dtag, m.Payload, m.Aux, m)
+	}
+	// Receive phase: the in-degree is known in advance per the
+	// theorem's premise.
+	want := int(st.indeg[id])
+	match := func(m logp.Message) bool { return m.Tag == dtag }
+	got := a.mb.TakeMatching(match)
+	for len(got) < want {
+		got = append(got, a.mb.RecvWhere(match))
+	}
+	// Hold until the schedule's end before returning to the barrier:
+	// if this processor's next-superstep CB ascend arrived at its
+	// tree parent while that parent still had data in transit, the
+	// extra message could overflow the capacity bound and stall. In
+	// the no-leftover case (whp, per Theorem 3) every data message
+	// has been delivered by then.
+	lp.WaitUntil(base + int64(rounds)*roundLen + params.L)
+	return got
+}
+
+// sortItemLess is the total order the deterministic router sorts
+// messages in: primarily by destination (the routing key; the dummy
+// destination p sorts last), with full tie-breaking so the result is
+// identical under every message-arrival order.
+func sortItemLess(x, y bsp.Message) bool {
+	if x.Dst != y.Dst {
+		return x.Dst < y.Dst
+	}
+	if x.Src != y.Src {
+		return x.Src < y.Src
+	}
+	if x.Tag != y.Tag {
+		return x.Tag < y.Tag
+	}
+	if x.Payload != y.Payload {
+		return x.Payload < y.Payload
+	}
+	return x.Aux < y.Aux
+}
+
+func sortItems(items []bsp.Message) {
+	sort.Slice(items, func(i, j int) bool { return sortItemLess(items[i], items[j]) })
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bsp"
+	"repro/internal/relation"
+	"repro/internal/sortnet"
+)
+
+// stallingExtensionTime executes, on a real BSP machine, the
+// preprocessing the paper sketches at the end of Section 3 for cycles
+// of a stalling LogP program: "standard sorting and prefix techniques
+// can be used to assign messages an order of network acceptance
+// consistent with the stalling rule". The program sorts the cycle's
+// messages by destination on a bitonic network (one superstep per
+// round), computes per-destination first ranks through processor 0,
+// and finally routes the relation with each message annotated with its
+// stalling-rule acceptance offset. The measured BSP time realizes the
+// O(((l+g)/G)·log p) slowdown bound.
+//
+// It requires a power-of-two p (the bitonic schedule); callers fall
+// back to the closed-form charge otherwise.
+func stallingExtensionTime(bp bsp.Params, rel relation.Relation, capacity, gap int64) int64 {
+	p := bp.P
+	bySrc := rel.BySource()
+	r := 0
+	for _, msgs := range bySrc {
+		if len(msgs) > r {
+			r = len(msgs)
+		}
+	}
+	if r == 0 {
+		return 0
+	}
+
+	const (
+		tagSortX  int32 = 1
+		tagRunsUp int32 = 2
+		tagFirst  int32 = 3
+		tagData   int32 = 4
+	)
+	rounds := sortnet.BitonicSchedule(p)
+
+	prog := func(pr bsp.Proc) {
+		id := pr.ID()
+		// Keys are destinations; dummies carry key p and sort last.
+		keys := make([]int64, 0, r)
+		for _, m := range bySrc[id] {
+			keys = append(keys, int64(m.Dst))
+		}
+		for len(keys) < r {
+			keys = append(keys, int64(p))
+		}
+		pr.Compute(sortnet.SeqSortCost(r, p+1))
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+		// Bitonic merge-split, one superstep per round.
+		for _, round := range rounds {
+			partner, keepLow := -1, false
+			for _, c := range round {
+				if c.A == id {
+					partner, keepLow = c.B, true
+				} else if c.B == id {
+					partner, keepLow = c.A, false
+				}
+			}
+			for _, k := range keys {
+				pr.Send(partner, tagSortX, k, 0)
+			}
+			pr.Sync()
+			merged := append([]int64(nil), keys...)
+			for {
+				m, ok := pr.Recv()
+				if !ok {
+					break
+				}
+				merged = append(merged, m.Payload)
+			}
+			pr.Compute(int64(2 * r))
+			sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+			if keepLow {
+				keys = merged[:r]
+			} else {
+				keys = append(keys[:0], merged[r:]...)
+			}
+		}
+
+		// Report run heads (destination, global rank of first local
+		// occurrence) to processor 0.
+		rankBase := int64(id) * int64(r)
+		for i := 0; i < r; i++ {
+			if keys[i] == int64(p) {
+				break
+			}
+			if i == 0 || keys[i] != keys[i-1] {
+				pr.Send(0, tagRunsUp, keys[i], rankBase+int64(i))
+			}
+		}
+		pr.Sync()
+
+		// Processor 0 resolves first ranks and answers each reporter.
+		if id == 0 {
+			first := map[int64]int64{}
+			reporters := map[int64][]int{}
+			srcSeen := map[[2]int64]bool{}
+			var reports []bsp.Message
+			for {
+				m, ok := pr.Recv()
+				if !ok {
+					break
+				}
+				reports = append(reports, m)
+				if f, ok := first[m.Payload]; !ok || m.Aux < f {
+					first[m.Payload] = m.Aux
+				}
+			}
+			pr.Compute(int64(len(reports)) * 2)
+			for _, m := range reports {
+				key := [2]int64{int64(m.Src), m.Payload}
+				if srcSeen[key] {
+					continue
+				}
+				srcSeen[key] = true
+				reporters[m.Payload] = append(reporters[m.Payload], m.Src)
+			}
+			for d, globalFirst := range first {
+				for _, s := range reporters[d] {
+					if s == 0 {
+						continue
+					}
+					pr.Send(s, tagFirst, d, globalFirst)
+				}
+			}
+		}
+		pr.Sync()
+
+		firstRank := map[int64]int64{}
+		for i := 0; i < r; i++ {
+			if keys[i] == int64(p) {
+				break
+			}
+			if i == 0 || keys[i] != keys[i-1] {
+				// Until told otherwise, assume my head starts the run.
+				if _, ok := firstRank[keys[i]]; !ok {
+					firstRank[keys[i]] = rankBaseOf(id, r) + int64(i)
+				}
+			}
+		}
+		for {
+			m, ok := pr.Recv()
+			if !ok {
+				break
+			}
+			if m.Tag == tagFirst {
+				firstRank[m.Payload] = m.Aux
+			}
+		}
+
+		// Final phase: route the relation with stalling-rule
+		// acceptance offsets annotated in Aux.
+		for i := 0; i < r; i++ {
+			d := keys[i]
+			if d == int64(p) {
+				break
+			}
+			q := rankBaseOf(id, r) + int64(i) - firstRank[d]
+			offset := int64(0)
+			if q >= capacity {
+				offset = (q - capacity + 1) * gap
+			}
+			pr.Send(int(d), tagData, 0, offset)
+		}
+		pr.Sync()
+		for {
+			if _, ok := pr.Recv(); !ok {
+				break
+			}
+		}
+	}
+
+	res, err := bsp.NewMachine(bp).Run(prog)
+	if err != nil {
+		panic("core: stalling-extension program failed: " + err.Error())
+	}
+	return res.Time
+}
+
+func rankBaseOf(id, r int) int64 { return int64(id) * int64(r) }
+
+// extensionFormula is the closed-form fallback charge for the stalling
+// extension (used when the bitonic schedule cannot run): log p sorting
+// supersteps on h-relations plus capacity-bounded delivery supersteps.
+func extensionFormula(bp bsp.Params, h, capacity int64, lgp int64) int64 {
+	return lgp*(bp.G*h+bp.L) + ceilDiv(h, capacity)*(bp.G*capacity+bp.L)
+}

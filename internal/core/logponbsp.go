@@ -1,0 +1,612 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bsp"
+	"repro/internal/logp"
+	"repro/internal/relation"
+)
+
+// LogPOnBSP executes LogP programs under BSP cost semantics, following
+// the simulation of Theorem 1: the LogP computation is cut into cycles
+// of CycleLen (the paper uses L/2) consecutive time units; each cycle
+// becomes one BSP superstep in which processor i replays processor i's
+// instructions, message submissions are gathered into the output pool,
+// and everything submitted in cycle k is available at its destination
+// at the start of cycle k+1.
+//
+// For a stall-free program every cycle routes an h-relation with
+// h <= ceil(L/G), so the superstep costs CycleLen + g*h + l and the
+// slowdown is O(1 + g/G + l/L). Cycles that exceed the capacity bound
+// certify that the program is not stall-free; for those, ExtensionTime
+// additionally charges the sorting-based preprocessing the paper
+// sketches at the end of Section 3 (O(log p) sorting supersteps plus
+// capacity-bounded delivery supersteps).
+type LogPOnBSP struct {
+	// LogP holds the parameters of the simulated (guest) machine.
+	LogP logp.Params
+	// BSP holds the parameters of the host machine. The zero value
+	// selects matched parameters g = G, l = L.
+	BSP bsp.Params
+	// CycleLen is the number of LogP time units replayed per
+	// superstep; 0 selects the paper's L/2.
+	CycleLen int64
+	// Fold simulates the p LogP processors on a BSP host with only
+	// p/Fold processors, each replaying Fold guests per superstep —
+	// the work-preserving variant the paper's footnote 1 credits to
+	// Ramachandran et al. 0 or 1 selects the direct simulation. Fold
+	// must divide P.
+	Fold int
+}
+
+// Thm1Result reports the cost of a LogPOnBSP execution.
+type Thm1Result struct {
+	// BSPTime is the total BSP time sum(CycleLen + g*h_k + l).
+	BSPTime int64
+	// ExtensionTime equals BSPTime if the program is stall-free;
+	// otherwise overloaded cycles are charged the sorting-based
+	// extension instead of a direct h-relation.
+	ExtensionTime int64
+	// GuestTime is the LogP time replayed (max processor clock,
+	// including in-flight deliveries).
+	GuestTime int64
+	// Cycles is the number of supersteps executed.
+	Cycles int64
+	// MessagesSent counts all submissions.
+	MessagesSent int64
+	// MaxCycleH is the largest per-cycle relation degree.
+	MaxCycleH int64
+	// CapacityViolations counts cycles whose relation exceeded
+	// ceil(L/G), certifying a non-stall-free program.
+	CapacityViolations int64
+	// CycleH holds the relation degree of every cycle.
+	CycleH []int64
+}
+
+// Slowdown returns BSPTime normalized by the guest LogP time actually
+// replayed. Under Theorem 1's premises this is O(1 + g/G + l/L) for
+// the direct simulation and O(Fold * (1 + g/G + l/L)) when folding.
+func (r Thm1Result) Slowdown() float64 {
+	if r.GuestTime == 0 {
+		return 1
+	}
+	return float64(r.BSPTime) / float64(r.GuestTime)
+}
+
+// WorkRatio returns (hostP * BSPTime) / (guestP * GuestTime), the
+// inefficiency of the simulation as a work ratio; a work-preserving
+// simulation keeps it O(1 + g/G + l/L) independent of the folding
+// factor.
+func (r Thm1Result) WorkRatio(guestP, hostP int) float64 {
+	if r.GuestTime == 0 || guestP == 0 {
+		return 1
+	}
+	return float64(hostP) * float64(r.BSPTime) / (float64(guestP) * float64(r.GuestTime))
+}
+
+func (s *LogPOnBSP) params() (logp.Params, bsp.Params, int64, int) {
+	lp := s.LogP
+	fold := s.Fold
+	if fold < 1 {
+		fold = 1
+	}
+	bp := s.BSP
+	if bp.P == 0 {
+		g, l := matchedParams(lp)
+		bp = bsp.Params{P: lp.P / fold, G: g, L: l}
+	}
+	cl := s.CycleLen
+	if cl == 0 {
+		cl = lp.L / 2
+	}
+	if cl < 1 {
+		cl = 1
+	}
+	return lp, bp, cl, fold
+}
+
+// Run executes prog under the Theorem 1 construction and returns the
+// accumulated BSP cost. The replay is deterministic: within a cycle
+// processors are interleaved by local clock, and every message
+// submitted in cycle k is delivered at the start of cycle k+1 in
+// submission order, which is one of the admissible LogP executions for
+// a stall-free program.
+func (s *LogPOnBSP) Run(prog logp.Program) (Thm1Result, error) {
+	lp, bp, cycleLen, fold := s.params()
+	if err := lp.Validate(); err != nil {
+		return Thm1Result{}, err
+	}
+	if err := bp.Validate(); err != nil {
+		return Thm1Result{}, err
+	}
+	if lp.P%fold != 0 {
+		return Thm1Result{}, fmt.Errorf("core: folding factor %d does not divide p = %d", fold, lp.P)
+	}
+	if bp.P != lp.P/fold {
+		return Thm1Result{}, fmt.Errorf("core: BSP host has %d processors, need %d (p/fold)", bp.P, lp.P/fold)
+	}
+	eng := &cycleEngine{
+		lp:       lp,
+		cycleLen: cycleLen,
+		fold:     fold,
+		stopc:    make(chan struct{}),
+		sent:     map[int64][]int64{},
+		rcvd:     map[int64][]int64{},
+		sentX:    map[int64][]int64{},
+		rcvdX:    map[int64][]int64{},
+		msgs:     map[int64][]relation.Pair{},
+	}
+	defer close(eng.stopc)
+	if err := eng.run(prog); err != nil {
+		return Thm1Result{}, err
+	}
+	return eng.result(bp), nil
+}
+
+// cycleEngine replays a LogP program with per-cycle bookkeeping. It is
+// a reduced variant of the logp engine: the medium accepts every
+// submission immediately and delivers it at the next cycle boundary.
+type cycleEngine struct {
+	lp       logp.Params
+	cycleLen int64
+	fold     int
+
+	procs  []*cycleProc
+	events cycleHeap
+	seq    int64
+
+	sent map[int64][]int64         // cycle -> per-guest submissions
+	rcvd map[int64][]int64         // cycle -> per-guest fan-in
+	msgs map[int64][]relation.Pair // cycle -> message slots (for the executed extension)
+	// Host-level cross-traffic counts (guest-local messages between
+	// guests folded onto the same host are free).
+	sentX map[int64][]int64
+	rcvdX map[int64][]int64
+
+	guestTime int64
+	totalMsgs int64
+
+	stopc   chan struct{}
+	procErr error
+}
+
+type cycleProc struct {
+	id      int
+	eng     *cycleEngine
+	clock   int64
+	nextSub int64
+	nextAcq int64
+	buf     []cycleArrived
+	state   cycleState
+	pending cycleReq
+	req     chan cycleReq
+	res     chan cycleRes
+}
+
+type cycleArrived struct {
+	msg logp.Message
+	at  int64
+}
+
+type cycleState uint8
+
+const (
+	cycleReady cycleState = iota
+	cycleWaitMsg
+	cycleDone
+)
+
+type cycleOp uint8
+
+const (
+	cycleCompute cycleOp = iota
+	cycleIdle
+	cycleSend
+	cycleRecv
+	cycleTryRecv
+	cycleBuffered
+	cycleOpDone
+	cycleOpPanic
+)
+
+type cycleReq struct {
+	op  cycleOp
+	n   int64
+	msg logp.Message
+	err error
+}
+
+type cycleRes struct {
+	msg logp.Message
+	ok  bool
+	n   int64
+}
+
+var errCycleStopped = errors.New("core: cycle engine stopped")
+
+// cycleProc implements logp.Proc.
+var _ logp.Proc = (*cycleProc)(nil)
+
+func (p *cycleProc) ID() int             { return p.id }
+func (p *cycleProc) P() int              { return p.eng.lp.P }
+func (p *cycleProc) Params() logp.Params { return p.eng.lp }
+func (p *cycleProc) Now() int64          { return p.clock }
+
+func (p *cycleProc) call(r cycleReq) cycleRes {
+	select {
+	case p.req <- r:
+	case <-p.eng.stopc:
+		panic(errCycleStopped)
+	}
+	select {
+	case v := <-p.res:
+		return v
+	case <-p.eng.stopc:
+		panic(errCycleStopped)
+	}
+}
+
+func (p *cycleProc) Compute(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("core: Compute(%d) with negative cycles", n))
+	}
+	if n == 0 {
+		return
+	}
+	p.call(cycleReq{op: cycleCompute, n: n})
+}
+
+func (p *cycleProc) WaitUntil(t int64) { p.call(cycleReq{op: cycleIdle, n: t}) }
+
+func (p *cycleProc) Send(dst int, tag int32, payload, aux int64) {
+	p.SendBody(dst, tag, payload, aux, nil)
+}
+
+func (p *cycleProc) SendBody(dst int, tag int32, payload, aux int64, body interface{}) {
+	if dst < 0 || dst >= p.eng.lp.P {
+		panic(fmt.Sprintf("core: Send to invalid destination %d (P=%d)", dst, p.eng.lp.P))
+	}
+	if dst == p.id {
+		panic("core: Send to self; use local state instead")
+	}
+	p.call(cycleReq{op: cycleSend, msg: logp.Message{
+		Src: p.id, Dst: dst, Tag: tag, Payload: payload, Aux: aux, Body: body,
+	}})
+}
+
+func (p *cycleProc) Recv() logp.Message {
+	return p.call(cycleReq{op: cycleRecv}).msg
+}
+
+func (p *cycleProc) TryRecv() (logp.Message, bool) {
+	r := p.call(cycleReq{op: cycleTryRecv})
+	return r.msg, r.ok
+}
+
+func (p *cycleProc) Buffered() int {
+	return int(p.call(cycleReq{op: cycleBuffered}).n)
+}
+
+type cycleEvent struct {
+	time int64
+	seq  int64
+	msg  logp.Message
+}
+
+type cycleHeap []cycleEvent
+
+func (h cycleHeap) Len() int { return len(h) }
+func (h cycleHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h cycleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cycleHeap) Push(x interface{}) { *h = append(*h, x.(cycleEvent)) }
+func (h *cycleHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+func (e *cycleEngine) run(prog logp.Program) error {
+	n := e.lp.P
+	e.procs = make([]*cycleProc, n)
+	for i := 0; i < n; i++ {
+		p := &cycleProc{id: i, eng: e, req: make(chan cycleReq), res: make(chan cycleRes)}
+		e.procs[i] = p
+		go func(p *cycleProc) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					select {
+					case p.req <- cycleReq{op: cycleOpDone}:
+					case <-e.stopc:
+					}
+					return
+				}
+				if err, ok := r.(error); ok && errors.Is(err, errCycleStopped) {
+					return
+				}
+				select {
+				case p.req <- cycleReq{op: cycleOpPanic, err: fmt.Errorf("core: processor %d panicked: %v", p.id, r)}:
+				case <-e.stopc:
+				}
+			}()
+			prog(p)
+		}(p)
+		e.await(p)
+	}
+
+	for {
+		var next *cycleProc
+		horizon := int64(math.MaxInt64)
+		for _, p := range e.procs {
+			if p.state == cycleReady && p.clock < horizon {
+				horizon = p.clock
+				next = p
+			}
+		}
+		if len(e.events) > 0 && e.events[0].time <= horizon {
+			e.deliverInstant(e.events[0].time)
+			continue
+		}
+		if next == nil {
+			allDone := true
+			for _, p := range e.procs {
+				if p.state != cycleDone {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				break
+			}
+			if e.procErr != nil {
+				return e.procErr
+			}
+			var blocked []int
+			for _, p := range e.procs {
+				if p.state == cycleWaitMsg {
+					blocked = append(blocked, p.id)
+				}
+			}
+			return fmt.Errorf("core: deadlock in Theorem 1 replay: processors %v blocked on Recv", blocked)
+		}
+		e.exec(next)
+	}
+
+	for len(e.events) > 0 {
+		e.deliverInstant(e.events[0].time)
+	}
+	for _, p := range e.procs {
+		if p.clock > e.guestTime {
+			e.guestTime = p.clock
+		}
+	}
+	return e.procErr
+}
+
+func (e *cycleEngine) await(p *cycleProc) {
+	p.pending = <-p.req
+	switch p.pending.op {
+	case cycleOpDone:
+		p.state = cycleDone
+	case cycleOpPanic:
+		if e.procErr == nil {
+			e.procErr = p.pending.err
+		}
+		p.state = cycleDone
+	default:
+		p.state = cycleReady
+	}
+}
+
+func (e *cycleEngine) resume(p *cycleProc, r cycleRes) {
+	p.res <- r
+	e.await(p)
+}
+
+func (e *cycleEngine) count(m map[int64][]int64, cycle int64, id, width int) {
+	row := m[cycle]
+	if row == nil {
+		row = make([]int64, width)
+		m[cycle] = row
+	}
+	row[id]++
+}
+
+// cycleFanIn returns how many messages this cycle has already directed
+// at dst (before the current one).
+func (e *cycleEngine) cycleFanIn(cycle int64, dst int) int64 {
+	if row := e.rcvd[cycle]; row != nil {
+		return row[dst]
+	}
+	return 0
+}
+
+func (e *cycleEngine) exec(p *cycleProc) {
+	req := p.pending
+	switch req.op {
+	case cycleCompute:
+		p.clock += req.n
+		e.resume(p, cycleRes{})
+	case cycleIdle:
+		if req.n > p.clock {
+			p.clock = req.n
+		}
+		e.resume(p, cycleRes{})
+	case cycleBuffered:
+		n := int64(0)
+		for _, a := range p.buf {
+			if a.at > p.clock {
+				break
+			}
+			n++
+		}
+		e.resume(p, cycleRes{n: n})
+	case cycleSend:
+		s := p.clock + e.lp.O
+		if s < p.nextSub {
+			s = p.nextSub
+		}
+		p.nextSub = s + e.lp.G
+		p.clock = s
+		cycle := s / e.cycleLen
+		arrival := (cycle + 1) * e.cycleLen
+		// Deliveries beyond the destination's capacity are spread at
+		// one per G past the boundary, mirroring an admissible
+		// stalling-rule execution (FIFO acceptance): for a stall-free
+		// cycle nothing changes, while a hot spot's excess messages
+		// arrive in later cycles instead of all at once.
+		if prior := e.cycleFanIn(cycle, req.msg.Dst); prior >= e.lp.Capacity() {
+			arrival += (prior - e.lp.Capacity() + 1) * e.lp.G
+		}
+		e.count(e.sent, cycle, req.msg.Src, e.lp.P)
+		e.count(e.rcvd, cycle, req.msg.Dst, e.lp.P)
+		e.msgs[cycle] = append(e.msgs[cycle], relation.Pair{Src: req.msg.Src, Dst: req.msg.Dst})
+		if e.fold > 1 && req.msg.Src/e.fold != req.msg.Dst/e.fold {
+			hostP := e.lp.P / e.fold
+			e.count(e.sentX, cycle, req.msg.Src/e.fold, hostP)
+			e.count(e.rcvdX, cycle, req.msg.Dst/e.fold, hostP)
+		}
+		e.totalMsgs++
+		e.seq++
+		heap.Push(&e.events, cycleEvent{time: arrival, seq: e.seq, msg: req.msg})
+		if arrival > e.guestTime {
+			e.guestTime = arrival
+		}
+		e.resume(p, cycleRes{})
+	case cycleRecv:
+		if len(p.buf) > 0 {
+			e.completeRecv(p)
+		} else {
+			p.state = cycleWaitMsg
+		}
+	case cycleTryRecv:
+		if len(p.buf) > 0 && p.buf[0].at <= p.clock && p.nextAcq <= p.clock {
+			head := p.buf[0]
+			p.buf = p.buf[1:]
+			r := p.clock
+			p.clock = r + e.lp.O
+			p.nextAcq = r + e.lp.G
+			e.resume(p, cycleRes{msg: head.msg, ok: true})
+		} else {
+			p.clock++
+			e.resume(p, cycleRes{})
+		}
+	default:
+		panic(fmt.Sprintf("core: unexpected cycle op %d", req.op))
+	}
+}
+
+func (e *cycleEngine) completeRecv(p *cycleProc) {
+	head := p.buf[0]
+	p.buf = p.buf[1:]
+	r := p.clock
+	if head.at > r {
+		r = head.at
+	}
+	if p.nextAcq > r {
+		r = p.nextAcq
+	}
+	p.clock = r + e.lp.O
+	p.nextAcq = r + e.lp.G
+	p.state = cycleReady
+	e.resume(p, cycleRes{msg: head.msg, ok: true})
+}
+
+func (e *cycleEngine) deliverInstant(t int64) {
+	var wake []*cycleProc
+	for len(e.events) > 0 && e.events[0].time == t {
+		ev := heap.Pop(&e.events).(cycleEvent)
+		p := e.procs[ev.msg.Dst]
+		p.buf = append(p.buf, cycleArrived{msg: ev.msg, at: t})
+		if p.state == cycleWaitMsg {
+			wake = append(wake, p)
+		}
+	}
+	sort.Slice(wake, func(i, j int) bool { return wake[i].id < wake[j].id })
+	for _, p := range wake {
+		if p.state == cycleWaitMsg && len(p.buf) > 0 {
+			e.completeRecv(p)
+		}
+	}
+}
+
+func (e *cycleEngine) result(bp bsp.Params) Thm1Result {
+	res := Thm1Result{GuestTime: e.guestTime, MessagesSent: e.totalMsgs}
+	if e.guestTime == 0 {
+		return res
+	}
+	capacity := e.lp.Capacity()
+	cycles := ceilDiv(e.guestTime, e.cycleLen)
+	res.Cycles = cycles
+	res.CycleH = make([]int64, cycles)
+	lgp := int64(log2Ceil(e.lp.P))
+	if lgp < 1 {
+		lgp = 1
+	}
+	work := e.cycleLen * int64(e.fold)
+	for k := int64(0); k < cycles; k++ {
+		var h int64
+		overloaded := false
+		if row := e.sent[k]; row != nil {
+			for _, c := range row {
+				if e.fold == 1 {
+					h = maxI64(h, c)
+				}
+			}
+		}
+		if row := e.rcvd[k]; row != nil {
+			for _, c := range row {
+				if e.fold == 1 {
+					h = maxI64(h, c)
+				}
+				if c > capacity {
+					overloaded = true
+				}
+			}
+		}
+		if e.fold > 1 {
+			// Folded hosts route the cross-host traffic of all
+			// their guests and replay fold guests' instructions.
+			for _, c := range e.sentX[k] {
+				h = maxI64(h, c)
+			}
+			for _, c := range e.rcvdX[k] {
+				h = maxI64(h, c)
+			}
+		}
+		res.CycleH[k] = h
+		res.MaxCycleH = maxI64(res.MaxCycleH, h)
+		base := work + bp.G*h + bp.L
+		res.BSPTime += base
+		if overloaded {
+			res.CapacityViolations++
+			// Stalling extension (end of Section 3): assign the
+			// cycle's messages an acceptance order consistent with
+			// the stalling rule. When the bitonic schedule applies,
+			// the preprocessing runs as a real BSP program and its
+			// measured time is charged; otherwise the closed-form
+			// O(log p)-supersteps charge is used.
+			if e.fold == 1 && isPow2(e.lp.P) {
+				rel := relation.Relation{P: e.lp.P, Pairs: e.msgs[k]}
+				res.ExtensionTime += work + stallingExtensionTime(bp, rel, capacity, e.lp.G)
+			} else {
+				res.ExtensionTime += work + extensionFormula(bp, h, capacity, lgp)
+			}
+		} else {
+			res.ExtensionTime += base
+		}
+	}
+	return res
+}

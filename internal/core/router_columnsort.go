@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bsp"
+	"repro/internal/relation"
+	"repro/internal/sortnet"
+)
+
+// SortAlgo selects the oblivious sorting algorithm inside the
+// deterministic router (Theorem 2, Step 2). The paper uses AKS for
+// small per-processor loads r and Cubesort for large r; this
+// implementation substitutes Batcher bitonic and Leighton columnsort
+// respectively (see DESIGN.md).
+type SortAlgo uint8
+
+const (
+	// SortAuto picks columnsort when r is already in its validity
+	// regime (r on the order of 2(p-1)^2 or more, where padding is
+	// cheap) and bitonic otherwise.
+	SortAuto SortAlgo = iota
+	// SortBitonic forces the bitonic network (requires a power-of-two
+	// processor count).
+	SortBitonic
+	// SortColumnsort forces columnsort, padding r up to the validity
+	// threshold if necessary; it works for every processor count.
+	SortColumnsort
+)
+
+func (s SortAlgo) String() string {
+	switch s {
+	case SortAuto:
+		return "auto"
+	case SortBitonic:
+		return "bitonic"
+	case SortColumnsort:
+		return "columnsort"
+	default:
+		return fmt.Sprintf("SortAlgo(%d)", uint8(s))
+	}
+}
+
+// columnsortPaddedR returns the smallest r' >= r satisfying
+// Leighton's validity conditions for s = p columns: p | r', r' even,
+// r' >= 2(p-1)^2.
+func columnsortPaddedR(r, p int) int {
+	if p == 1 {
+		if r < 1 {
+			return 1
+		}
+		return r
+	}
+	base := 2 * (p - 1) * (p - 1)
+	if r > base {
+		base = r
+	}
+	unit := p
+	if p%2 != 0 {
+		unit = 2 * p
+	}
+	rp := (base + unit - 1) / unit * unit
+	if rp == 0 {
+		rp = unit
+	}
+	if !sortnet.ColumnsortValid(rp, p) {
+		panic(fmt.Sprintf("core: padded r=%d invalid for columnsort with p=%d (bug)", rp, p))
+	}
+	return rp
+}
+
+// columnSched precomputes, for one (p, r') shape, the Hall
+// decomposition of the transpose and untranspose redistributions:
+// send[src][idx] gives the destination, destination slot, and delivery
+// cycle of element idx at processor src. The patterns are
+// input-independent, so the schedule is computed once per shape and
+// shared (the paper's off-line routing premise for known relations).
+type columnSched struct {
+	r          int
+	transpose  [][]schedHop
+	untranspos [][]schedHop
+}
+
+type schedHop struct {
+	dst    int
+	dstIdx int
+	cycle  int
+}
+
+func buildColumnSched(p, r int) *columnSched {
+	build := func(dest func(col, idx int) (int, int)) [][]schedHop {
+		rel := relation.Relation{P: p, Pairs: make([]relation.Pair, 0, p*r)}
+		hops := make([][]schedHop, p)
+		for src := 0; src < p; src++ {
+			hops[src] = make([]schedHop, r)
+			for idx := 0; idx < r; idx++ {
+				dc, di := dest(src, idx)
+				hops[src][idx] = schedHop{dst: dc, dstIdx: di}
+				rel.Pairs = append(rel.Pairs, relation.Pair{Src: src, Dst: dc})
+			}
+		}
+		classes, h := relation.DecomposeIndexed(rel)
+		if h != r {
+			panic(fmt.Sprintf("core: transpose decomposition has %d classes, want %d (bug)", h, r))
+		}
+		k := 0
+		for src := 0; src < p; src++ {
+			for idx := 0; idx < r; idx++ {
+				hops[src][idx].cycle = classes[k]
+				k++
+			}
+		}
+		return hops
+	}
+	return &columnSched{
+		r:          r,
+		transpose:  build(func(c, i int) (int, int) { return sortnet.TransposeDest(r, p, c, i) }),
+		untranspos: build(func(c, i int) (int, int) { return sortnet.UntransposeDest(r, p, c, i) }),
+	}
+}
+
+func (sim *bspSim) columnSchedFor(p, r int) *columnSched {
+	if sim.colScheds == nil {
+		sim.colScheds = map[int]*columnSched{}
+	}
+	if cs := sim.colScheds[r]; cs != nil {
+		return cs
+	}
+	cs := buildColumnSched(p, r)
+	sim.colScheds[r] = cs
+	return cs
+}
+
+// columnsortSort is the large-r branch of the deterministic router's
+// Step 2: Leighton columnsort over the per-processor blocks, realized
+// as three scheduled exchanges (transpose, untranspose, boundary
+// merge) interleaved with local sorts, all anchored to a global base
+// time so every phase's traffic is disjoint in flight. It returns this
+// processor's final block of length columnsortPaddedR(r, p) — leaving
+// block j holding global ranks [j*r', (j+1)*r') — together with the
+// global quiescence instant every processor idles to before the next
+// phase.
+func (a *bspAdapter) columnsortSort(items []bsp.Message) ([]bsp.Message, int64) {
+	lp := a.lp
+	p := lp.P()
+	id := lp.ID()
+	params := lp.Params()
+	rp := columnsortPaddedR(len(items), p)
+	for len(items) < rp {
+		items = append(items, bsp.Message{Src: id, Dst: p}) // dummy
+	}
+	if p == 1 {
+		sortItems(items)
+		return items, lp.Now()
+	}
+	cs := a.sim.columnSchedFor(p, rp)
+	sortCost := sortnet.SeqSortCost(rp, p+1)
+	exFull := 2*int64(rp)*params.G + params.L + 2*params.G + 6*params.O + 4
+	exHalf := int64(rp)*params.G + params.L + 2*params.G + 6*params.O + 4
+	margin := int64(8)
+
+	// Phase 1: local sort (before the base so its cost overlaps the
+	// base agreement of slower processors).
+	lp.Compute(sortCost)
+	sortItems(items)
+
+	base := a.globalBase()
+	if debugColumnsort != nil {
+		debugColumnsort("proc %d: base=%d exFull=%d sortCost=%d", id, base, exFull, sortCost)
+	}
+	t1 := base + exFull + sortCost + margin
+	t2 := t1 + exFull + sortCost + margin
+	t3 := t2 + exHalf + int64(rp) + margin
+
+	// Phase 2: transpose; phase 3: local sort.
+	items = a.runExchange(items, cs.transpose[id], rp, base)
+	lp.Compute(sortCost)
+	sortItems(items)
+
+	// Phase 4: untranspose; phase 5: local sort.
+	a.checkPhase(t1, "untranspose")
+	lp.WaitUntil(t1)
+	items = a.runExchange(items, cs.untranspos[id], rp, t1)
+	lp.Compute(sortCost)
+	sortItems(items)
+
+	// Phases 6-8 collapse to the boundary merge: send the bottom
+	// half right, the right neighbor sorts the straddling window and
+	// returns the lower half.
+	a.checkPhase(t2, "boundary-A")
+	lp.WaitUntil(t2)
+	half := rp / 2
+	seqA := a.mb.NextSeq(tagNeigh)
+	if id < p-1 {
+		for k := 0; k < half; k++ {
+			slot := t2 + int64(k+1)*params.G
+			lp.WaitUntil(slot - params.O)
+			lp.SendBody(id+1, tagNeigh, int64(k), seqA, items[half+k])
+		}
+	}
+	window := make([]bsp.Message, 0, rp)
+	if id > 0 {
+		for k := 0; k < half; k++ {
+			m := a.mb.RecvTagSeq(tagNeigh, seqA)
+			window = append(window, m.Body.(bsp.Message))
+		}
+		window = append(window, items[:half]...)
+		lp.Compute(int64(rp))
+		sortItems(window)
+		copy(items[:half], window[half:]) // my new top half
+	}
+	a.checkPhase(t3, "boundary-B")
+	lp.WaitUntil(t3)
+	seqB := a.mb.NextSeq(tagNeigh)
+	if id > 0 {
+		for k := 0; k < half; k++ {
+			slot := t3 + int64(k+1)*params.G
+			lp.WaitUntil(slot - params.O)
+			lp.SendBody(id-1, tagNeigh, int64(k), seqB, window[k])
+		}
+	}
+	if id < p-1 {
+		for k := 0; k < half; k++ {
+			m := a.mb.RecvTagSeq(tagNeigh, seqB)
+			items[half+int(m.Payload)] = m.Body.(bsp.Message)
+		}
+		lp.Compute(int64(rp))
+		sortItems(items[half:])
+	}
+	end := t3 + exHalf + int64(rp) + margin
+	a.checkPhase(end, "quiesce")
+	lp.WaitUntil(end)
+	return items, end
+}
+
+// debugColumnsort, when non-nil, receives phase-timing diagnostics
+// (set only by tests).
+var debugColumnsort func(format string, args ...interface{})
+
+func (a *bspAdapter) checkPhase(start int64, phase string) {
+	if debugColumnsort != nil {
+		debugColumnsort("proc %d: phase %s start=%d now=%d", a.lp.ID(), phase, start, a.lp.Now())
+	}
+	if a.lp.Now() > start {
+		panic(fmt.Sprintf("core: processor %d overran columnsort phase %s (now %d > start %d); bounds too small",
+			a.lp.ID(), phase, a.lp.Now(), start))
+	}
+}
+
+// runExchange realizes one precomputed redistribution: element idx is
+// transmitted in its Hall-decomposition cycle and lands at its
+// destination slot. Every processor sends and receives exactly r
+// items.
+func (a *bspAdapter) runExchange(items []bsp.Message, hops []schedHop, r int, base int64) []bsp.Message {
+	lp := a.lp
+	id := lp.ID()
+	params := lp.Params()
+	byCycle := make([]int, r) // cycle -> element index
+	for i := range byCycle {
+		byCycle[i] = -1
+	}
+	local := make([]bsp.Message, r)
+	localSet := make([]bool, r)
+	pending := 0
+	for idx, hop := range hops {
+		if hop.dst == id {
+			local[hop.dstIdx] = items[idx]
+			localSet[hop.dstIdx] = true
+			continue
+		}
+		if byCycle[hop.cycle] != -1 {
+			panic("core: two elements share an exchange cycle (bug)")
+		}
+		byCycle[hop.cycle] = idx
+		pending++
+	}
+	seq := a.mb.NextSeq(tagSort)
+	for c := 0; c < r; c++ {
+		idx := byCycle[c]
+		if idx < 0 {
+			continue
+		}
+		hop := hops[idx]
+		slot := base + int64(c+1)*params.G
+		lp.WaitUntil(slot - params.O)
+		lp.SendBody(hop.dst, tagSort, int64(hop.dstIdx), seq, items[idx])
+	}
+	expect := r
+	for i := range localSet {
+		if localSet[i] {
+			expect--
+		}
+	}
+	for k := 0; k < expect; k++ {
+		m := a.mb.RecvTagSeq(tagSort, seq)
+		if localSet[m.Payload] {
+			panic("core: exchange slot collision (bug)")
+		}
+		local[m.Payload] = m.Body.(bsp.Message)
+		localSet[m.Payload] = true
+	}
+	return local
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bsp"
+	"repro/internal/logp"
+)
+
+func TestColumnsortPhaseDiagnostics(t *testing.T) {
+	// The debugColumnsort hook reports every phase boundary with
+	// now <= start (no overruns).
+	var lines []string
+	debugColumnsort = func(format string, args ...interface{}) {
+		lines = append(lines, format)
+	}
+	defer func() { debugColumnsort = nil }()
+
+	lp := logp.Params{P: 4, L: 16, O: 1, G: 2}
+	sim := &BSPOnLogP{LogP: lp, Router: RouterDeterministic, Sort: SortColumnsort, Seed: 2, StrictStallFree: true}
+	_, err := sim.Run(func(p bsp.Proc) {
+		p.Send((p.ID()+1)%p.P(), 0, 1, 0)
+		p.Sync()
+		p.Recv()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("no phase diagnostics emitted")
+	}
+	sawPhase := false
+	for _, l := range lines {
+		if strings.Contains(l, "phase") {
+			sawPhase = true
+		}
+	}
+	if !sawPhase {
+		t.Fatalf("diagnostics missing phase lines: %v", lines)
+	}
+}

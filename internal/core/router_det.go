@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bsp"
+	"repro/internal/collective"
+	"repro/internal/logp"
+	"repro/internal/sortnet"
+)
+
+// routeDeterministic is Theorem 2's four-step protocol:
+//
+//  1. Compute r (the maximum out-degree) by CB and pad every
+//     processor's message set to exactly r with dummies addressed to
+//     the nominal destination p.
+//  2. Sort all p*r messages by destination on an oblivious network
+//     (Batcher bitonic; see DESIGN.md for the AKS substitution) so that
+//     processor i ends up holding global ranks [i*r, (i+1)*r).
+//  3. Compute s (the maximum in-degree) — realized here by a run-length
+//     summary reduce over the sorted sequence followed by a broadcast —
+//     and set h = max(r, s).
+//  4. Deliver rank classes mod h in pipelined cycles every G steps;
+//     within a class every processor sends at most one message and
+//     every destination receives at most one, so the capacity
+//     constraint holds and the phase completes in 2o + G(h-1) + L.
+func (a *bspAdapter) routeDeterministic(st *stepState, dtag int32) []logp.Message {
+	lp := a.lp
+	p := lp.P()
+	id := lp.ID()
+
+	// Step 1: r by CB(MAX), then dummy padding.
+	mine := st.outRouted[id]
+	r64 := collective.CombineBroadcast(a.mb, tagRCount, int64(len(mine)), collective.OpMax)
+	if r64 == 0 {
+		return nil
+	}
+	r := int(r64)
+	items := make([]bsp.Message, 0, r)
+	items = append(items, mine...)
+	for len(items) < r {
+		items = append(items, bsp.Message{Src: id, Dst: p}) // dummy
+	}
+
+	// Step 2: the oblivious sorting network. SortAuto uses bitonic
+	// for small r and columnsort once r reaches its validity regime
+	// (or when p is not a power of two, which bitonic cannot handle).
+	useColumn := false
+	switch a.sim.spec.Sort {
+	case SortColumnsort:
+		useColumn = true
+	case SortBitonic:
+		useColumn = false
+	default:
+		useColumn = !isPow2(p) || r >= 2*(p-1)*(p-1)
+	}
+	var sortEnd int64
+	if useColumn {
+		items, sortEnd = a.columnsortSort(items)
+	} else {
+		lp.Compute(sortnet.SeqSortCost(r, p+1))
+		sortItems(items)
+		items, sortEnd = a.bitonicSort(items)
+	}
+	rEff := int64(len(items)) // columnsort may have padded the blocks
+
+	// Step 3: s via the summary reduce over the sorted sequence.
+	s64 := a.computeS(items, p, sortEnd)
+	h := rEff
+	if s64 > h {
+		h = s64
+	}
+
+	// Step 4: pipelined delivery of rank classes mod h. Items whose
+	// sorted position already is their destination need no network
+	// hop.
+	base := a.globalBase()
+	sched := make(map[int64]bsp.Message, len(items))
+	var local []logp.Message
+	rankBase := int64(id) * rEff
+	for j, item := range items {
+		if item.Dst == p {
+			continue // dummy
+		}
+		if item.Dst == id {
+			local = append(local, logp.Message{Src: item.Src, Dst: id, Tag: dtag, Body: item})
+			continue
+		}
+		c := (rankBase + int64(j)) % h
+		if _, dup := sched[c]; dup {
+			panic("core: two messages in the same delivery class at one processor (bug)")
+		}
+		sched[c] = item
+	}
+	return append(a.deliverWindowed(sched, h, base, dtag), local...)
+}
+
+// bitonicSort runs the merge-split bitonic network over the
+// per-processor blocks, returning this processor's final block. Each
+// round exchanges whole blocks with the round's partner: r submissions
+// pipelined one per G stay within the capacity bound, and the rounds
+// are anchored to a globally agreed clock so that no round's traffic
+// can overlap a straggler's previous round in transit — without the
+// alignment, a message of round k+1 arriving while a round-k (or CB
+// descend) message is still in flight would exceed small capacities
+// and stall. One aligned round costs O(G*r + L). The second return
+// value is the global quiescence instant every processor idles to
+// before the next phase.
+func (a *bspAdapter) bitonicSort(items []bsp.Message) ([]bsp.Message, int64) {
+	lp := a.lp
+	p := lp.P()
+	id := lp.ID()
+	r := len(items)
+	params := lp.Params()
+	base := a.globalBase()
+	roundBound := 2*int64(r)*params.G + params.L + 2*params.G + 6*params.O + 2*int64(r) + 2
+	for ri, round := range sortnet.BitonicSchedule(p) {
+		start := base + int64(ri)*roundBound
+		if lp.Now() > start {
+			panic(fmt.Sprintf("core: processor %d overran bitonic round %d (now %d > start %d); roundBound too small", id, ri, lp.Now(), start))
+		}
+		lp.WaitUntil(start)
+		var partner int
+		var keepLow bool
+		found := false
+		for _, c := range round {
+			if c.A == id {
+				partner, keepLow, found = c.B, true, true
+				break
+			}
+			if c.B == id {
+				partner, keepLow, found = c.A, false, true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("core: processor %d missing from bitonic round (bug)", id))
+		}
+		seq := a.mb.NextSeq(tagSort)
+		for _, item := range items {
+			lp.SendBody(partner, tagSort, int64(item.Dst), seq, item)
+		}
+		merged := make([]bsp.Message, 0, 2*r)
+		merged = append(merged, items...)
+		for k := 0; k < r; k++ {
+			m := a.mb.RecvTagSeq(tagSort, seq)
+			merged = append(merged, m.Body.(bsp.Message))
+		}
+		lp.Compute(int64(2 * r)) // merge cost
+		sortItems(merged)
+		if keepLow {
+			items = merged[:r]
+		} else {
+			items = append(items[:0], merged[r:]...)
+		}
+	}
+	// Let every processor clear its last round before the summary
+	// phase's point-to-point traffic begins.
+	end := base + int64(sortnet.BitonicDepth(p))*roundBound
+	lp.WaitUntil(end)
+	return items, end
+}
+
+// runSummary summarizes the destination runs of one sorted block:
+// the run touching the block's head, the run touching its tail, the
+// maximum run length anywhere in the block, and the block size. Dummy
+// entries (key -1 after normalization) never join or count.
+type runSummary struct {
+	size    int64
+	headKey int64
+	headLen int64
+	maxRun  int64
+	tailKey int64
+	tailLen int64
+}
+
+// buildSummary computes the summary of a sorted key sequence where
+// dummyKey marks entries to ignore.
+func buildSummary(keys []int64, dummyKey int64) runSummary {
+	s := runSummary{size: int64(len(keys)), headKey: -1, tailKey: -1}
+	n := len(keys)
+	if n == 0 {
+		return s
+	}
+	i := 0
+	for i < n {
+		j := i
+		for j < n && keys[j] == keys[i] {
+			j++
+		}
+		runLen := int64(j - i)
+		if keys[i] != dummyKey {
+			if i == 0 {
+				s.headKey, s.headLen = keys[i], runLen
+			}
+			if j == n {
+				s.tailKey, s.tailLen = keys[i], runLen
+			}
+			if runLen > s.maxRun {
+				s.maxRun = runLen
+			}
+		}
+		i = j
+	}
+	return s
+}
+
+// mergeSummary combines the summaries of two adjacent blocks (a to the
+// left of b).
+func mergeSummary(x, y runSummary) runSummary {
+	c := runSummary{size: x.size + y.size}
+	c.headKey, c.headLen = x.headKey, x.headLen
+	if x.headKey != -1 && x.headLen == x.size && x.headKey == y.headKey {
+		c.headLen = x.size + y.headLen
+	}
+	c.tailKey, c.tailLen = y.tailKey, y.tailLen
+	if y.tailKey != -1 && y.tailLen == y.size && y.tailKey == x.tailKey {
+		c.tailLen = y.size + x.tailLen
+	}
+	var joined int64
+	if x.tailKey != -1 && x.tailKey == y.headKey {
+		joined = x.tailLen + y.headLen
+	}
+	c.maxRun = x.maxRun
+	for _, v := range []int64{y.maxRun, joined, c.headLen, c.tailLen} {
+		if v > c.maxRun {
+			c.maxRun = v
+		}
+	}
+	return c
+}
+
+// summary wire format: six fields, one message each, matched by
+// Aux = k<<3 | part where k is the halving distance of the round.
+const summaryParts = 6
+
+func summaryFields(s runSummary) [summaryParts]int64 {
+	return [summaryParts]int64{s.size, s.headKey, s.headLen, s.maxRun, s.tailKey, s.tailLen}
+}
+
+func summaryFromFields(f [summaryParts]int64) runSummary {
+	return runSummary{size: f[0], headKey: f[1], headLen: f[2], maxRun: f[3], tailKey: f[4], tailLen: f[5]}
+}
+
+// computeS determines the maximum in-degree s of the sorted message
+// sequence: each processor summarizes its block's destination runs,
+// the summaries are combined left-to-right up a recursive-halving tree
+// (O(log p) rounds of constant-size exchanges), and the root's maximum
+// run length — the largest destination multiplicity — is broadcast.
+//
+// Each halving round runs in its own time window anchored at base (the
+// sort phase's quiescence instant): a round's six summary words are
+// submitted only inside its window and are out of flight before the
+// next window opens, so no two rounds' traffic can meet at a processor
+// and overflow small capacities. (An earlier receiver-paced handshake
+// version stalled at capacity 1: the handshake token itself could
+// collide with the previous round's in-flight words.)
+func (a *bspAdapter) computeS(items []bsp.Message, p int, base int64) int64 {
+	lp := a.lp
+	id := lp.ID()
+	params := lp.Params()
+	keys := make([]int64, len(items))
+	for i, it := range items {
+		if it.Dst == p {
+			keys[i] = -1
+		} else {
+			keys[i] = int64(it.Dst)
+		}
+	}
+	mine := buildSummary(keys, -1)
+	sumBound := 12*params.G + params.L + 4*params.O + 8
+	round := int64(0)
+ascend:
+	for k := 1; k < p; k, round = k<<1, round+1 {
+		w := base + round*sumBound
+		aux := func(part int) int64 { return int64(k)<<3 | int64(part) }
+		switch {
+		case id%(2*k) == k:
+			if lp.Now() > w {
+				panic(fmt.Sprintf("core: processor %d overran summary round %d (now %d > window %d)", id, round, lp.Now(), w))
+			}
+			lp.WaitUntil(w)
+			f := summaryFields(mine)
+			for part := 0; part < summaryParts; part++ {
+				lp.Send(id-k, tagSumUp, f[part], aux(part))
+			}
+			break ascend
+		case id%(2*k) == 0 && id+k < p:
+			var f [summaryParts]int64
+			for part := 0; part < summaryParts; part++ {
+				want := aux(part)
+				m := a.mb.RecvWhere(func(m logp.Message) bool {
+					return m.Tag == tagSumUp && m.Aux == want
+				})
+				f[part] = m.Payload
+			}
+			lp.Compute(summaryParts)
+			mine = mergeSummary(mine, summaryFromFields(f))
+		}
+	}
+	return collective.TreeBroadcast(a.mb, tagSBcast, 0, mine.maxRun)
+}

@@ -1,0 +1,637 @@
+package logp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// DeliveryPolicy selects the arrival instant of an accepted message
+// within the window (a, a+L] permitted by the model. The exact delivery
+// time of a message is unpredictable under LogP; a program is correct
+// only if it computes the required map under every admissible choice,
+// so the policy is pluggable to let tests probe several executions.
+type DeliveryPolicy uint8
+
+const (
+	// DeliverMaxLatency delivers as late as the model allows (the
+	// adversarial choice against latency-sensitive programs).
+	DeliverMaxLatency DeliveryPolicy = iota
+	// DeliverMinLatency delivers at the earliest free instant (the
+	// adversarial choice against programs that assume slowness).
+	DeliverMinLatency
+	// DeliverRandom picks a uniformly random free instant in the
+	// window, seeded by the machine seed.
+	DeliverRandom
+)
+
+func (d DeliveryPolicy) String() string {
+	switch d {
+	case DeliverMaxLatency:
+		return "max-latency"
+	case DeliverMinLatency:
+		return "min-latency"
+	case DeliverRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("DeliveryPolicy(%d)", uint8(d))
+	}
+}
+
+// Result reports the outcome of executing a Program on a Machine.
+type Result struct {
+	// Time is the completion time: the maximum final local clock
+	// over all processors.
+	Time int64
+	// LastDelivery is the arrival time of the last message; it can
+	// exceed Time if messages were still in flight at termination.
+	LastDelivery int64
+	// MessagesSent counts all submissions.
+	MessagesSent int64
+	// StallEvents counts messages whose acceptance was delayed past
+	// their submission instant (zero for a stall-free execution).
+	StallEvents int64
+	// StallCycles totals, over all processors, the cycles spent in
+	// the stalling state.
+	StallCycles int64
+	// MaxBufferDepth is the peak number of delivered-but-unacquired
+	// messages at any single processor, relevant to the paper's
+	// bounded-buffer discussion of the G <= L constraint.
+	MaxBufferDepth int
+	// ProcTimes holds each processor's final local clock.
+	ProcTimes []int64
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithDeliveryPolicy selects the message delivery-time policy
+// (default DeliverMaxLatency).
+func WithDeliveryPolicy(p DeliveryPolicy) Option {
+	return func(m *Machine) { m.policy = p }
+}
+
+// WithSeed seeds the machine's random stream (used by DeliverRandom).
+func WithSeed(seed uint64) Option {
+	return func(m *Machine) { m.seed = seed }
+}
+
+// WithStrictStallFree makes Run return an error if any execution step
+// stalls. Programs the paper calls "stall-free" are run under this
+// option in tests to certify the claim.
+func WithStrictStallFree() Option {
+	return func(m *Machine) { m.strictStallFree = true }
+}
+
+// AcceptOrder selects which waiting submissions the Stalling Rule
+// accepts first when a destination has fewer free slots than waiting
+// messages. The paper fixes only the count min(k, s); "the order in
+// which messages are accepted [is] completely unspecified ... we
+// assume that any order is possible", so correct programs must work
+// under every choice.
+type AcceptOrder uint8
+
+const (
+	// AcceptFIFO takes the oldest submission (ties by processor id).
+	AcceptFIFO AcceptOrder = iota
+	// AcceptLIFO takes the newest submission, starving early senders.
+	AcceptLIFO
+	// AcceptRandom takes a uniformly random waiting submission.
+	AcceptRandom
+)
+
+func (o AcceptOrder) String() string {
+	switch o {
+	case AcceptFIFO:
+		return "fifo"
+	case AcceptLIFO:
+		return "lifo"
+	case AcceptRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("AcceptOrder(%d)", uint8(o))
+	}
+}
+
+// WithAcceptOrder selects the Stalling Rule's acceptance order
+// (default AcceptFIFO).
+func WithAcceptOrder(o AcceptOrder) Option {
+	return func(m *Machine) { m.acceptOrder = o }
+}
+
+// Machine is an executable LogP virtual machine. It is not safe for
+// concurrent use; a single Run executes at a time.
+type Machine struct {
+	params          Params
+	policy          DeliveryPolicy
+	seed            uint64
+	strictStallFree bool
+	acceptOrder     AcceptOrder
+	eventLog        func(Event)
+	msgSeq          int64
+
+	rng   *stats.RNG
+	procs []*proc
+
+	events eventHeap
+	seq    int64
+
+	pendingQ  [][]pendingSub       // per destination, FIFO by (subAt, src)
+	inTransit []int64              // per destination
+	occupied  []map[int64]struct{} // per destination: reserved delivery instants
+
+	lastDelivery int64
+	maxBuf       int
+	totalMsgs    int64
+	stallEvents  int64
+
+	stopc   chan struct{}
+	procErr error
+}
+
+type pendingSub struct {
+	msg   Message
+	subAt int64
+	msgID int64
+}
+
+// NewMachine builds a machine with the given parameters, which must
+// Validate; invalid parameters panic, since they indicate a programming
+// error in the experiment setup rather than a runtime condition.
+func NewMachine(params Params, opts ...Option) *Machine {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{params: params, policy: DeliverMaxLatency, seed: 1}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Params returns the machine parameters.
+func (m *Machine) Params() Params { return m.params }
+
+// errStopped is panicked into program goroutines when the engine shuts
+// down, unwinding them cleanly.
+var errStopped = errors.New("logp: machine stopped")
+
+func runner(p *proc, prog Program) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			select {
+			case p.req <- request{kind: opDone}:
+			case <-p.m.stopc:
+			}
+			return
+		}
+		if err, ok := r.(error); ok && errors.Is(err, errStopped) {
+			return
+		}
+		select {
+		case p.req <- request{kind: opPanic, err: fmt.Errorf("logp: processor %d panicked: %v", p.id, r)}:
+		case <-p.m.stopc:
+		}
+	}()
+	prog(p)
+}
+
+// Run executes prog on every processor and returns the measured
+// Result. Run may be called repeatedly; each call is an independent
+// execution re-seeded from the machine seed.
+func (m *Machine) Run(prog Program) (Result, error) {
+	m.reset()
+	defer close(m.stopc)
+
+	// Start processors one at a time so that the code before each
+	// program's first engine call is serialized like everything else.
+	for i := 0; i < m.params.P; i++ {
+		p := &proc{
+			id:  i,
+			m:   m,
+			req: make(chan request),
+			res: make(chan response),
+		}
+		m.procs[i] = p
+		go runner(p, prog)
+		m.await(p)
+	}
+
+	for {
+		var next *proc
+		horizon := int64(math.MaxInt64)
+		for _, p := range m.procs {
+			if p.state == stateReady && p.clock < horizon {
+				horizon = p.clock
+				next = p
+			}
+		}
+		if len(m.events) > 0 && m.events[0].time <= horizon {
+			m.processInstant(m.events[0].time)
+			continue
+		}
+		if next == nil {
+			if m.allDone() {
+				break
+			}
+			if m.procErr != nil {
+				// A processor panic often strands its peers on
+				// Recv; report the root cause, not the symptom.
+				return Result{}, m.procErr
+			}
+			return Result{}, m.deadlockError()
+		}
+		m.exec(next)
+	}
+
+	// Drain in-flight deliveries so LastDelivery and buffer-depth
+	// statistics reflect the whole execution.
+	for len(m.events) > 0 {
+		m.processInstant(m.events[0].time)
+	}
+
+	res := Result{
+		LastDelivery:   m.lastDelivery,
+		MessagesSent:   m.totalMsgs,
+		StallEvents:    m.stallEvents,
+		MaxBufferDepth: m.maxBuf,
+		ProcTimes:      make([]int64, m.params.P),
+	}
+	for i, p := range m.procs {
+		res.ProcTimes[i] = p.clock
+		res.StallCycles += p.stallCycles
+		if p.clock > res.Time {
+			res.Time = p.clock
+		}
+	}
+	if m.procErr != nil {
+		return res, m.procErr
+	}
+	if m.strictStallFree && m.stallEvents > 0 {
+		return res, fmt.Errorf("logp: execution stalled %d times under WithStrictStallFree", m.stallEvents)
+	}
+	return res, nil
+}
+
+func (m *Machine) reset() {
+	p := m.params.P
+	m.rng = stats.NewRNG(m.seed)
+	m.procs = make([]*proc, p)
+	m.events = m.events[:0]
+	m.seq = 0
+	m.pendingQ = make([][]pendingSub, p)
+	m.inTransit = make([]int64, p)
+	m.occupied = make([]map[int64]struct{}, p)
+	for i := range m.occupied {
+		m.occupied[i] = make(map[int64]struct{})
+	}
+	m.lastDelivery = 0
+	m.maxBuf = 0
+	m.totalMsgs = 0
+	m.stallEvents = 0
+	m.stopc = make(chan struct{})
+	m.procErr = nil
+	m.msgSeq = 0
+}
+
+// emit forwards ev to the installed event sink, if any.
+func (m *Machine) emit(ev Event) {
+	if m.eventLog != nil {
+		m.eventLog(ev)
+	}
+}
+
+func (m *Machine) allDone() bool {
+	for _, p := range m.procs {
+		if p.state != stateDone {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Machine) deadlockError() error {
+	var waitMsg, waitAcc []int
+	for _, p := range m.procs {
+		switch p.state {
+		case stateWaitMsg:
+			waitMsg = append(waitMsg, p.id)
+		case stateWaitAccept:
+			waitAcc = append(waitAcc, p.id)
+		}
+	}
+	return fmt.Errorf("logp: deadlock: processors %v blocked on Recv, %v blocked on Send, no messages in flight", waitMsg, waitAcc)
+}
+
+// await reads the next request from p's goroutine and records it.
+func (m *Machine) await(p *proc) {
+	p.pending = <-p.req
+	switch p.pending.kind {
+	case opDone:
+		p.state = stateDone
+	case opPanic:
+		if m.procErr == nil {
+			m.procErr = p.pending.err
+		}
+		p.state = stateDone
+	default:
+		p.state = stateReady
+	}
+}
+
+// resume answers p's pending request and reads the next one.
+func (m *Machine) resume(p *proc, r response) {
+	p.res <- r
+	m.await(p)
+}
+
+// exec performs p's pending operation. p must be the ready processor
+// with the minimum local clock, which guarantees that every medium
+// event at or before p.clock has been committed.
+func (m *Machine) exec(p *proc) {
+	req := p.pending
+	switch req.kind {
+	case opCompute:
+		p.clock += req.n
+		m.resume(p, response{})
+
+	case opIdle:
+		if req.n > p.clock {
+			p.clock = req.n
+		}
+		m.resume(p, response{})
+
+	case opBuffered:
+		n := int64(0)
+		for _, a := range p.buf {
+			if a.at > p.clock {
+				break
+			}
+			n++
+		}
+		m.resume(p, response{n: n})
+
+	case opSend:
+		s := p.clock + m.params.O
+		if s < p.nextSub {
+			s = p.nextSub
+		}
+		p.nextSub = s + m.params.G
+		p.clock = s
+		p.state = stateWaitAccept
+		m.totalMsgs++
+		m.msgSeq++
+		m.emit(Event{Time: s, Kind: EvSubmit, Seq: m.msgSeq, Msg: req.msg})
+		m.push(event{time: s, kind: evSubmission, msg: req.msg, subAt: s, msgID: m.msgSeq})
+
+	case opRecv:
+		if len(p.buf) > 0 {
+			m.completeRecv(p)
+		} else {
+			p.state = stateWaitMsg
+		}
+
+	case opTryRecv:
+		if len(p.buf) > 0 && p.buf[0].at <= p.clock && p.nextAcq <= p.clock {
+			head := p.popBuf()
+			r := p.clock
+			m.emit(Event{Time: r, Kind: EvAcquire, Seq: head.msgID, Msg: head.msg})
+			p.clock = r + m.params.O
+			p.nextAcq = r + m.params.G
+			p.recvd++
+			m.resume(p, response{msg: head.msg, ok: true})
+		} else {
+			p.clock++ // one polling cycle, so busy-wait loops consume time
+			m.resume(p, response{})
+		}
+
+	default:
+		panic(fmt.Sprintf("logp: unexpected pending op %d", req.kind))
+	}
+}
+
+func (p *proc) popBuf() arrived {
+	head := p.buf[0]
+	p.buf[0] = arrived{}
+	p.buf = p.buf[1:]
+	if len(p.buf) == 0 {
+		p.buf = nil
+	}
+	return head
+}
+
+// completeRecv acquires the oldest buffered message for p and resumes
+// its goroutine.
+func (m *Machine) completeRecv(p *proc) {
+	head := p.popBuf()
+	r := p.clock
+	if head.at > r {
+		r = head.at
+	}
+	if p.nextAcq > r {
+		r = p.nextAcq
+	}
+	m.emit(Event{Time: r, Kind: EvAcquire, Seq: head.msgID, Msg: head.msg})
+	p.clock = r + m.params.O
+	p.nextAcq = r + m.params.G
+	p.recvd++
+	p.state = stateReady
+	m.resume(p, response{msg: head.msg, ok: true})
+}
+
+// processInstant commits every medium event scheduled at the earliest
+// pending instant t: deliveries free capacity slots and append to input
+// buffers, new submissions join their destination queues, and then the
+// Stalling Rule acceptance pass runs for each touched destination.
+// Processors whose blocking operation completed are woken afterwards in
+// id order.
+func (m *Machine) processInstant(t int64) {
+	capacity := m.params.Capacity()
+	dirty := make(map[int]struct{})
+	var wakeRecv []*proc
+	var wakeSend []*proc
+
+	for len(m.events) > 0 && m.events[0].time == t {
+		ev := heap.Pop(&m.events).(event)
+		dst := ev.msg.Dst
+		switch ev.kind {
+		case evDelivery:
+			m.inTransit[dst]--
+			delete(m.occupied[dst], t)
+			m.emit(Event{Time: t, Kind: EvDeliver, Seq: ev.msgID, Msg: ev.msg})
+			p := m.procs[dst]
+			p.buf = append(p.buf, arrived{msg: ev.msg, at: t, msgID: ev.msgID})
+			if len(p.buf) > m.maxBuf {
+				m.maxBuf = len(p.buf)
+			}
+			m.lastDelivery = t
+			dirty[dst] = struct{}{}
+			if p.state == stateWaitMsg {
+				wakeRecv = append(wakeRecv, p)
+			}
+		case evSubmission:
+			q := m.pendingQ[dst]
+			sub := pendingSub{msg: ev.msg, subAt: ev.subAt, msgID: ev.msgID}
+			// Insert keeping FIFO order by (subAt, src).
+			i := len(q)
+			for i > 0 && less(sub, q[i-1]) {
+				i--
+			}
+			q = append(q, pendingSub{})
+			copy(q[i+1:], q[i:])
+			q[i] = sub
+			m.pendingQ[dst] = q
+			dirty[dst] = struct{}{}
+		}
+	}
+
+	dsts := make([]int, 0, len(dirty))
+	for d := range dirty {
+		dsts = append(dsts, d)
+	}
+	sort.Ints(dsts)
+
+	for _, dst := range dsts {
+		for m.inTransit[dst] < capacity && len(m.pendingQ[dst]) > 0 {
+			q := m.pendingQ[dst]
+			idx := 0
+			switch m.acceptOrder {
+			case AcceptLIFO:
+				idx = len(q) - 1
+			case AcceptRandom:
+				idx = m.rng.Intn(len(q))
+			}
+			sub := q[idx]
+			m.pendingQ[dst] = append(q[:idx], q[idx+1:]...)
+			sender := m.procs[sub.msg.Src]
+			if t > sub.subAt {
+				sender.stallCycles += t - sub.subAt
+				sender.stallEvents++
+				m.stallEvents++
+			}
+			d := m.chooseSlot(dst, t)
+			m.occupied[dst][d] = struct{}{}
+			m.inTransit[dst]++
+			if m.inTransit[dst] > capacity {
+				panic(fmt.Sprintf("logp: capacity constraint violated at destination %d (bug)", dst))
+			}
+			m.emit(Event{Time: t, Kind: EvAccept, Seq: sub.msgID, Msg: sub.msg})
+			m.push(event{time: d, kind: evDelivery, msg: sub.msg, msgID: sub.msgID})
+			wakeSend = append(wakeSend, sender)
+		}
+		if len(m.pendingQ[dst]) == 0 {
+			m.pendingQ[dst] = nil
+		}
+	}
+
+	sort.Slice(wakeSend, func(i, j int) bool { return wakeSend[i].id < wakeSend[j].id })
+	for _, p := range wakeSend {
+		p.clock = t // acceptance instant; stall cycles already accounted
+		p.sent++
+		p.state = stateReady
+		m.resume(p, response{})
+	}
+
+	sort.Slice(wakeRecv, func(i, j int) bool { return wakeRecv[i].id < wakeRecv[j].id })
+	for _, p := range wakeRecv {
+		if p.state == stateWaitMsg && len(p.buf) > 0 {
+			m.completeRecv(p)
+		}
+	}
+}
+
+func less(a, b pendingSub) bool {
+	if a.subAt != b.subAt {
+		return a.subAt < b.subAt
+	}
+	return a.msg.Src < b.msg.Src
+}
+
+// chooseSlot picks a free delivery instant in (a, a+L] for destination
+// dst under the configured policy. A free instant always exists because
+// the capacity constraint keeps at most Capacity()-1 other messages in
+// transit and Capacity() <= L.
+func (m *Machine) chooseSlot(dst int, a int64) int64 {
+	occ := m.occupied[dst]
+	L := m.params.L
+	switch m.policy {
+	case DeliverMinLatency:
+		for d := a + 1; d <= a+L; d++ {
+			if _, taken := occ[d]; !taken {
+				return d
+			}
+		}
+	case DeliverMaxLatency:
+		for d := a + L; d > a; d-- {
+			if _, taken := occ[d]; !taken {
+				return d
+			}
+		}
+	case DeliverRandom:
+		// Single-pass reservoir choice among the free instants.
+		var chosen int64 = -1
+		free := 0
+		for d := a + 1; d <= a+L; d++ {
+			if _, taken := occ[d]; taken {
+				continue
+			}
+			free++
+			if m.rng.Intn(free) == 0 {
+				chosen = d
+			}
+		}
+		if chosen >= 0 {
+			return chosen
+		}
+	}
+	panic(fmt.Sprintf("logp: no free delivery slot for destination %d at time %d (capacity accounting bug)", dst, a))
+}
+
+type eventKind uint8
+
+const (
+	evDelivery eventKind = iota
+	evSubmission
+)
+
+type event struct {
+	time  int64
+	kind  eventKind
+	seq   int64
+	msg   Message
+	subAt int64
+	msgID int64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+func (m *Machine) push(ev event) {
+	ev.seq = m.seq
+	m.seq++
+	heap.Push(&m.events, ev)
+}

@@ -1,0 +1,53 @@
+package logp_test
+
+import (
+	"fmt"
+
+	"repro/internal/logp"
+)
+
+// A two-processor ping: processor 0 submits one message (cost o, then
+// gap G before it could submit again); the medium delivers it within L
+// and processor 1 acquires it (another o).
+func ExampleMachine_Run() {
+	params := logp.Params{P: 2, L: 8, O: 1, G: 2}
+	m := logp.NewMachine(params, logp.WithStrictStallFree())
+	res, err := m.Run(func(p logp.Proc) {
+		switch p.ID() {
+		case 0:
+			p.Send(1, 0, 42, 0)
+		case 1:
+			msg := p.Recv()
+			fmt.Println("received payload", msg.Payload, "at time", p.Now())
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("completion time:", res.Time, "stalls:", res.StallEvents)
+	// Output:
+	// received payload 42 at time 10
+	// completion time: 10 stalls: 0
+}
+
+// Tracing a run and validating it against the model invariants.
+func ExampleCheckTrace() {
+	params := logp.Params{P: 2, L: 8, O: 1, G: 2}
+	var events []logp.Event
+	m := logp.NewMachine(params, logp.WithEventLog(func(e logp.Event) {
+		events = append(events, e)
+	}))
+	_, err := m.Run(func(p logp.Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 0, 7, 0)
+		} else {
+			p.Recv()
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("events:", len(events), "valid:", logp.CheckTrace(params, events) == nil)
+	// Output:
+	// events: 4 valid: true
+}

@@ -1,0 +1,182 @@
+package logp
+
+import "fmt"
+
+// Proc is the interface a LogP program uses to drive its processor.
+// Programs are ordinary Go functions of type Program; each runs in its
+// own goroutine but the engine interleaves them deterministically, so
+// closures may share data structures indexed by processor id without
+// additional locking.
+//
+// Proc is an interface rather than a concrete type so that the
+// cross-simulators in internal/core can execute unmodified LogP
+// programs on a different substrate (Theorem 1 runs them on a BSP
+// machine).
+type Proc interface {
+	// ID returns this processor's identifier in [0, P()).
+	ID() int
+	// P returns the number of processors.
+	P() int
+	// Params returns the machine parameters.
+	Params() Params
+	// Now returns the processor's local clock.
+	Now() int64
+	// Compute advances the local clock by n >= 0 units of local work.
+	Compute(n int64)
+	// WaitUntil idles the processor until its local clock is at
+	// least t. Scheduled (oblivious) algorithms such as the paper's
+	// binary Combine-and-Broadcast for ceil(L/G) = 1 use it to pin
+	// transmissions to prescribed instants.
+	WaitUntil(t int64)
+	// Send prepares (cost o) and submits a message. The call returns
+	// when the medium accepts the message; if the destination is at
+	// capacity the processor stalls until acceptance, per the
+	// Stalling Rule. Consecutive submission instants are >= G apart.
+	Send(dst int, tag int32, payload, aux int64)
+	// SendBody is Send with an opaque application payload attached;
+	// the cost model is identical (every message is O(1) words).
+	SendBody(dst int, tag int32, payload, aux int64, body interface{})
+	// Recv blocks until an incoming message can be acquired, then
+	// acquires it (cost o). Consecutive acquisition instants are
+	// >= G apart.
+	Recv() Message
+	// TryRecv acquires a buffered message if one has arrived by the
+	// local clock and the acquisition gap permits; otherwise it
+	// charges one polling cycle and reports false.
+	TryRecv() (Message, bool)
+	// Buffered reports how many delivered messages are waiting in
+	// the input buffer at the local clock.
+	Buffered() int
+}
+
+// Program is the code executed by every processor of a Machine.
+type Program func(p Proc)
+
+type opKind uint8
+
+const (
+	opCompute opKind = iota
+	opIdle
+	opSend
+	opRecv
+	opTryRecv
+	opBuffered
+	opDone
+	opPanic
+)
+
+type request struct {
+	kind opKind
+	n    int64
+	msg  Message
+	err  error
+}
+
+type response struct {
+	msg Message
+	ok  bool
+	n   int64
+}
+
+type procState uint8
+
+const (
+	stateReady procState = iota
+	stateWaitAccept
+	stateWaitMsg
+	stateDone
+)
+
+// arrived is a delivered message waiting in a processor's input buffer.
+type arrived struct {
+	msg   Message
+	at    int64
+	msgID int64
+}
+
+// proc is the engine-side representation of a processor; it also
+// implements Proc for the program goroutine.
+type proc struct {
+	id int
+	m  *Machine
+
+	clock   int64 // local time
+	nextSub int64 // earliest permitted next submission instant
+	nextAcq int64 // earliest permitted next acquisition instant
+
+	buf []arrived // input buffer, FIFO in delivery order
+
+	state   procState
+	pending request
+
+	sent, recvd int64
+	stallCycles int64
+	stallEvents int64
+
+	req chan request
+	res chan response
+}
+
+var _ Proc = (*proc)(nil)
+
+func (p *proc) ID() int        { return p.id }
+func (p *proc) P() int         { return p.m.params.P }
+func (p *proc) Params() Params { return p.m.params }
+func (p *proc) Now() int64     { return p.clock }
+
+func (p *proc) call(r request) response {
+	select {
+	case p.req <- r:
+	case <-p.m.stopc:
+		panic(errStopped)
+	}
+	select {
+	case v := <-p.res:
+		return v
+	case <-p.m.stopc:
+		panic(errStopped)
+	}
+}
+
+func (p *proc) Compute(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("logp: Compute(%d) with negative cycles", n))
+	}
+	if n == 0 {
+		return
+	}
+	p.call(request{kind: opCompute, n: n})
+}
+
+func (p *proc) WaitUntil(t int64) {
+	p.call(request{kind: opIdle, n: t})
+}
+
+func (p *proc) Send(dst int, tag int32, payload, aux int64) {
+	p.SendBody(dst, tag, payload, aux, nil)
+}
+
+func (p *proc) SendBody(dst int, tag int32, payload, aux int64, body interface{}) {
+	if dst < 0 || dst >= p.m.params.P {
+		panic(fmt.Sprintf("logp: Send to invalid destination %d (P=%d)", dst, p.m.params.P))
+	}
+	if dst == p.id {
+		panic("logp: Send to self; use local state instead")
+	}
+	p.call(request{kind: opSend, msg: Message{
+		Src: p.id, Dst: dst, Tag: tag, Payload: payload, Aux: aux, Body: body,
+	}})
+}
+
+func (p *proc) Recv() Message {
+	return p.call(request{kind: opRecv}).msg
+}
+
+func (p *proc) TryRecv() (Message, bool) {
+	r := p.call(request{kind: opTryRecv})
+	return r.msg, r.ok
+}
+
+func (p *proc) Buffered() int {
+	return int(p.call(request{kind: opBuffered}).n)
+}

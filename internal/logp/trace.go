@@ -1,0 +1,188 @@
+package logp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EventKind labels a point in a message's lifecycle.
+type EventKind uint8
+
+const (
+	// EvSubmit: the sender placed the message in its output register
+	// (the submission instant, after the o preparation overhead).
+	EvSubmit EventKind = iota
+	// EvAccept: the medium accepted the message, possibly after a
+	// stalling delay.
+	EvAccept
+	// EvDeliver: the message arrived in the destination's input
+	// buffer.
+	EvDeliver
+	// EvAcquire: the receiving processor acquired the message (the
+	// acquisition instant; the o overhead follows).
+	EvAcquire
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSubmit:
+		return "submit"
+	case EvAccept:
+		return "accept"
+	case EvDeliver:
+		return "deliver"
+	case EvAcquire:
+		return "acquire"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one traced point of a message's lifecycle. Seq identifies
+// the message across its events (assigned at submission).
+type Event struct {
+	Time int64
+	Kind EventKind
+	Seq  int64
+	Msg  Message
+}
+
+// WithEventLog installs fn as the machine's event sink. fn runs
+// synchronously inside the engine; it must not call back into the
+// machine.
+func WithEventLog(fn func(Event)) Option {
+	return func(m *Machine) { m.eventLog = fn }
+}
+
+// CheckTrace validates the LogP model invariants over a completed
+// run's event stream:
+//
+//   - every message's events appear in submit/accept/deliver order,
+//     with acquire (if the program received it) last;
+//   - delivery happens within (accept, accept+L];
+//   - consecutive submission instants of one processor are >= G apart,
+//     as are consecutive acquisition instants;
+//   - at any instant at most Capacity() accepted-but-undelivered
+//     messages target one destination;
+//   - at most one message is delivered per destination per instant.
+//
+// It returns the first violation found, or nil. The machine enforces
+// all of this internally; CheckTrace exists so that tests (and users
+// instrumenting their own programs) can verify it end to end.
+//
+// Events are re-sorted by time before checking (the engine emits them
+// in commit order, which interleaves instants); ties within an instant
+// follow the model's evaluation order: deliveries free capacity before
+// submissions queue and acceptances take slots.
+func CheckTrace(params Params, events []Event) error {
+	sorted := append([]Event(nil), events...)
+	rank := func(k EventKind) int {
+		switch k {
+		case EvDeliver:
+			return 0
+		case EvSubmit:
+			return 1
+		case EvAccept:
+			return 2
+		default: // EvAcquire
+			return 3
+		}
+	}
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Time != sorted[j].Time {
+			return sorted[i].Time < sorted[j].Time
+		}
+		return rank(sorted[i].Kind) < rank(sorted[j].Kind)
+	})
+	events = sorted
+
+	type msgState struct {
+		submit, accept, deliver int64
+		stage                   int
+	}
+	msgs := map[int64]*msgState{}
+	lastSub := map[int]int64{}
+	lastAcq := map[int]int64{}
+	inTransit := map[int]int64{}
+	lastDeliver := map[int]int64{}
+
+	for i, ev := range events {
+		st := msgs[ev.Seq]
+		switch ev.Kind {
+		case EvSubmit:
+			if st != nil {
+				return fmt.Errorf("event %d: message %d submitted twice", i, ev.Seq)
+			}
+			msgs[ev.Seq] = &msgState{submit: ev.Time, stage: 1}
+			if prev, ok := lastSub[ev.Msg.Src]; ok && ev.Time-prev < params.G {
+				return fmt.Errorf("event %d: processor %d submissions %d apart, gap %d required", i, ev.Msg.Src, ev.Time-prev, params.G)
+			}
+			lastSub[ev.Msg.Src] = ev.Time
+		case EvAccept:
+			if st == nil || st.stage != 1 {
+				return fmt.Errorf("event %d: message %d accepted out of order", i, ev.Seq)
+			}
+			if ev.Time < st.submit {
+				return fmt.Errorf("event %d: message %d accepted before submission", i, ev.Seq)
+			}
+			st.accept = ev.Time
+			st.stage = 2
+			inTransit[ev.Msg.Dst]++
+			if inTransit[ev.Msg.Dst] > params.Capacity() {
+				return fmt.Errorf("event %d: %d messages in transit to processor %d, capacity %d", i, inTransit[ev.Msg.Dst], ev.Msg.Dst, params.Capacity())
+			}
+		case EvDeliver:
+			if st == nil || st.stage != 2 {
+				return fmt.Errorf("event %d: message %d delivered out of order", i, ev.Seq)
+			}
+			if ev.Time <= st.accept || ev.Time > st.accept+params.L {
+				return fmt.Errorf("event %d: message %d delivered at %d, accepted at %d, outside (accept, accept+L]", i, ev.Seq, ev.Time, st.accept)
+			}
+			if prev, ok := lastDeliver[ev.Msg.Dst]; ok && prev == ev.Time {
+				return fmt.Errorf("event %d: two deliveries to processor %d at instant %d", i, ev.Msg.Dst, ev.Time)
+			}
+			lastDeliver[ev.Msg.Dst] = ev.Time
+			st.deliver = ev.Time
+			st.stage = 3
+			inTransit[ev.Msg.Dst]--
+		case EvAcquire:
+			if st == nil || st.stage != 3 {
+				return fmt.Errorf("event %d: message %d acquired out of order", i, ev.Seq)
+			}
+			if ev.Time < st.deliver {
+				return fmt.Errorf("event %d: message %d acquired before delivery", i, ev.Seq)
+			}
+			if prev, ok := lastAcq[ev.Msg.Dst]; ok && ev.Time-prev < params.G {
+				return fmt.Errorf("event %d: processor %d acquisitions %d apart, gap %d required", i, ev.Msg.Dst, ev.Time-prev, params.G)
+			}
+			lastAcq[ev.Msg.Dst] = ev.Time
+			st.stage = 4
+		}
+	}
+	for seq, st := range msgs {
+		if st.stage < 3 {
+			return fmt.Errorf("message %d never delivered (stage %d)", seq, st.stage)
+		}
+	}
+	return nil
+}
+
+// FormatTrace renders an event stream chronologically, one line per
+// event, for debugging and documentation. Events are sorted the same
+// way CheckTrace sorts them.
+func FormatTrace(events []Event) string {
+	sorted := append([]Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Time != sorted[j].Time {
+			return sorted[i].Time < sorted[j].Time
+		}
+		return sorted[i].Seq < sorted[j].Seq
+	})
+	var b strings.Builder
+	for _, e := range sorted {
+		fmt.Fprintf(&b, "t=%-6d %-8s msg#%-4d %d->%d tag=%d payload=%d\n",
+			e.Time, e.Kind, e.Seq, e.Msg.Src, e.Msg.Dst, e.Msg.Tag, e.Msg.Payload)
+	}
+	return b.String()
+}

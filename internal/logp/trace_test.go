@@ -1,0 +1,316 @@
+package logp
+
+import (
+	"strings"
+	"testing"
+)
+
+// collectTrace runs prog with an event log attached and returns the
+// events alongside the result.
+func collectTrace(t *testing.T, params Params, prog Program, opts ...Option) ([]Event, Result) {
+	t.Helper()
+	var events []Event
+	opts = append(opts, WithEventLog(func(e Event) { events = append(events, e) }))
+	m := NewMachine(params, opts...)
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events, res
+}
+
+func pingProgram(p Proc) {
+	switch p.ID() {
+	case 0:
+		p.Send(1, 7, 42, 0)
+	case 1:
+		p.Recv()
+	}
+}
+
+func TestTraceSingleMessageLifecycle(t *testing.T) {
+	params := Params{P: 2, L: 8, O: 1, G: 2}
+	events, _ := collectTrace(t, params, pingProgram)
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4: %+v", len(events), events)
+	}
+	kinds := []EventKind{EvSubmit, EvAccept, EvDeliver, EvAcquire}
+	for i, k := range kinds {
+		if events[i].Kind != k {
+			t.Fatalf("event %d kind %v, want %v", i, events[i].Kind, k)
+		}
+		if events[i].Seq != 1 {
+			t.Fatalf("event %d seq %d, want 1", i, events[i].Seq)
+		}
+	}
+	// Submission at o=1; immediate acceptance; delivery at 9
+	// (max-latency); acquisition at 9.
+	if events[0].Time != 1 || events[1].Time != 1 || events[2].Time != 9 || events[3].Time != 9 {
+		t.Fatalf("event times: %+v", events)
+	}
+	if err := CheckTrace(params, events); err != nil {
+		t.Fatalf("CheckTrace: %v", err)
+	}
+}
+
+func TestTraceValidatesBusyWorkloads(t *testing.T) {
+	params := Params{P: 10, L: 12, O: 1, G: 3}
+	prog := func(p Proc) {
+		n := p.P()
+		for k := 1; k <= 4; k++ {
+			p.Send((p.ID()+k)%n, 0, int64(k), 0)
+		}
+		for k := 0; k < 4; k++ {
+			p.Recv()
+		}
+	}
+	for _, pol := range []DeliveryPolicy{DeliverMaxLatency, DeliverMinLatency, DeliverRandom} {
+		for _, ord := range []AcceptOrder{AcceptFIFO, AcceptLIFO, AcceptRandom} {
+			events, res := collectTrace(t, params, prog,
+				WithDeliveryPolicy(pol), WithAcceptOrder(ord), WithSeed(3))
+			if err := CheckTrace(params, events); err != nil {
+				t.Fatalf("%v/%v: %v", pol, ord, err)
+			}
+			if int64(len(events)) != 4*res.MessagesSent {
+				t.Fatalf("%v/%v: %d events for %d messages", pol, ord, len(events), res.MessagesSent)
+			}
+		}
+	}
+}
+
+func TestTraceValidatesStallingRun(t *testing.T) {
+	params := Params{P: 9, L: 4, O: 1, G: 2} // capacity 2
+	prog := func(p Proc) {
+		if p.ID() < 8 {
+			p.Send(8, 0, 0, 0)
+			return
+		}
+		for i := 0; i < 8; i++ {
+			p.Recv()
+		}
+	}
+	for _, ord := range []AcceptOrder{AcceptFIFO, AcceptLIFO, AcceptRandom} {
+		events, res := collectTrace(t, params, prog, WithAcceptOrder(ord), WithSeed(5))
+		if res.StallEvents == 0 {
+			t.Fatalf("%v: expected stalling", ord)
+		}
+		if err := CheckTrace(params, events); err != nil {
+			t.Fatalf("%v: stalling run violates model: %v", ord, err)
+		}
+	}
+}
+
+func TestCheckTraceCatchesCapacityViolation(t *testing.T) {
+	params := Params{P: 3, L: 4, O: 1, G: 2} // capacity 2
+	events := []Event{
+		{Time: 1, Kind: EvSubmit, Seq: 1, Msg: Message{Src: 0, Dst: 2}},
+		{Time: 1, Kind: EvAccept, Seq: 1, Msg: Message{Src: 0, Dst: 2}},
+		{Time: 1, Kind: EvSubmit, Seq: 2, Msg: Message{Src: 1, Dst: 2}},
+		{Time: 1, Kind: EvAccept, Seq: 2, Msg: Message{Src: 1, Dst: 2}},
+		{Time: 3, Kind: EvSubmit, Seq: 3, Msg: Message{Src: 0, Dst: 2}},
+		{Time: 3, Kind: EvAccept, Seq: 3, Msg: Message{Src: 0, Dst: 2}},
+		{Time: 4, Kind: EvDeliver, Seq: 1, Msg: Message{Src: 0, Dst: 2}},
+		{Time: 5, Kind: EvDeliver, Seq: 2, Msg: Message{Src: 1, Dst: 2}},
+		{Time: 6, Kind: EvDeliver, Seq: 3, Msg: Message{Src: 0, Dst: 2}},
+	}
+	err := CheckTrace(params, events)
+	if err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("expected capacity violation, got %v", err)
+	}
+}
+
+func TestCheckTraceCatchesLatencyViolation(t *testing.T) {
+	params := Params{P: 2, L: 4, O: 1, G: 2}
+	events := []Event{
+		{Time: 1, Kind: EvSubmit, Seq: 1, Msg: Message{Src: 0, Dst: 1}},
+		{Time: 1, Kind: EvAccept, Seq: 1, Msg: Message{Src: 0, Dst: 1}},
+		{Time: 9, Kind: EvDeliver, Seq: 1, Msg: Message{Src: 0, Dst: 1}},
+	}
+	err := CheckTrace(params, events)
+	if err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("expected latency violation, got %v", err)
+	}
+}
+
+func TestCheckTraceCatchesGapViolation(t *testing.T) {
+	params := Params{P: 3, L: 8, O: 1, G: 4}
+	events := []Event{
+		{Time: 1, Kind: EvSubmit, Seq: 1, Msg: Message{Src: 0, Dst: 1}},
+		{Time: 1, Kind: EvAccept, Seq: 1, Msg: Message{Src: 0, Dst: 1}},
+		{Time: 3, Kind: EvSubmit, Seq: 2, Msg: Message{Src: 0, Dst: 2}},
+		{Time: 3, Kind: EvAccept, Seq: 2, Msg: Message{Src: 0, Dst: 2}},
+		{Time: 5, Kind: EvDeliver, Seq: 1, Msg: Message{Src: 0, Dst: 1}},
+		{Time: 7, Kind: EvDeliver, Seq: 2, Msg: Message{Src: 0, Dst: 2}},
+	}
+	err := CheckTrace(params, events)
+	if err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("expected gap violation, got %v", err)
+	}
+}
+
+func TestCheckTraceCatchesDoubleDeliveryInstant(t *testing.T) {
+	params := Params{P: 3, L: 8, O: 1, G: 4}
+	events := []Event{
+		{Time: 1, Kind: EvSubmit, Seq: 1, Msg: Message{Src: 0, Dst: 2}},
+		{Time: 1, Kind: EvAccept, Seq: 1, Msg: Message{Src: 0, Dst: 2}},
+		{Time: 5, Kind: EvSubmit, Seq: 2, Msg: Message{Src: 1, Dst: 2}},
+		{Time: 5, Kind: EvAccept, Seq: 2, Msg: Message{Src: 1, Dst: 2}},
+		{Time: 6, Kind: EvDeliver, Seq: 1, Msg: Message{Src: 0, Dst: 2}},
+		{Time: 6, Kind: EvDeliver, Seq: 2, Msg: Message{Src: 1, Dst: 2}},
+	}
+	err := CheckTrace(params, events)
+	if err == nil || !strings.Contains(err.Error(), "two deliveries") {
+		t.Fatalf("expected double-delivery violation, got %v", err)
+	}
+}
+
+func TestCheckTraceCatchesLostMessage(t *testing.T) {
+	params := Params{P: 2, L: 8, O: 1, G: 2}
+	events := []Event{
+		{Time: 1, Kind: EvSubmit, Seq: 1, Msg: Message{Src: 0, Dst: 1}},
+		{Time: 1, Kind: EvAccept, Seq: 1, Msg: Message{Src: 0, Dst: 1}},
+	}
+	err := CheckTrace(params, events)
+	if err == nil || !strings.Contains(err.Error(), "never delivered") {
+		t.Fatalf("expected lost-message violation, got %v", err)
+	}
+}
+
+func TestAcceptOrderAffectsStallDistribution(t *testing.T) {
+	// Under LIFO the earliest submitters are starved, so their stall
+	// cycles dominate; total delivery throughput is unchanged.
+	params := Params{P: 13, L: 4, O: 1, G: 2} // capacity 2
+	prog := func(p Proc) {
+		if p.ID() < 12 {
+			p.Send(12, 0, int64(p.ID()), 0)
+			return
+		}
+		for i := 0; i < 12; i++ {
+			p.Recv()
+		}
+	}
+	times := map[AcceptOrder]int64{}
+	for _, ord := range []AcceptOrder{AcceptFIFO, AcceptLIFO, AcceptRandom} {
+		m := NewMachine(params, WithAcceptOrder(ord), WithDeliveryPolicy(DeliverMinLatency), WithSeed(2))
+		res, err := m.Run(prog)
+		if err != nil {
+			t.Fatalf("%v: %v", ord, err)
+		}
+		times[ord] = res.Time
+		if res.MessagesSent != 12 {
+			t.Fatalf("%v: %d messages", ord, res.MessagesSent)
+		}
+	}
+	// The hot spot drains at one message per G under every order, so
+	// completion times agree within a small additive band.
+	for ord, tm := range times {
+		if diff := tm - times[AcceptFIFO]; diff > 2*params.L || diff < -2*params.L {
+			t.Fatalf("order %v time %d deviates from FIFO %d", ord, tm, times[AcceptFIFO])
+		}
+	}
+}
+
+func TestAcceptOrderString(t *testing.T) {
+	if AcceptFIFO.String() != "fifo" || AcceptLIFO.String() != "lifo" || AcceptRandom.String() != "random" {
+		t.Fatal("AcceptOrder strings wrong")
+	}
+	if !strings.Contains(AcceptOrder(9).String(), "9") {
+		t.Fatal("unknown order should render its value")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	want := map[EventKind]string{
+		EvSubmit: "submit", EvAccept: "accept", EvDeliver: "deliver", EvAcquire: "acquire",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%v renders %q", k, k.String())
+		}
+	}
+	if !strings.Contains(EventKind(9).String(), "9") {
+		t.Fatal("unknown kind should render its value")
+	}
+}
+
+func TestTraceCBCollectiveClean(t *testing.T) {
+	// A full protocol run (the engine test can't import collective,
+	// so emulate a two-level reduction by hand) must validate.
+	params := Params{P: 7, L: 12, O: 2, G: 3}
+	prog := func(p Proc) {
+		// Leaves 3..6 send to 1 or 2; 1 and 2 combine and send to 0.
+		switch {
+		case p.ID() >= 3:
+			parent := 1
+			if p.ID() >= 5 {
+				parent = 2
+			}
+			p.Send(parent, 0, int64(p.ID()), 0)
+		case p.ID() == 1 || p.ID() == 2:
+			a := p.Recv()
+			b := p.Recv()
+			p.Send(0, 0, a.Payload+b.Payload, 0)
+		default:
+			p.Recv()
+			p.Recv()
+		}
+	}
+	events, _ := collectTrace(t, params, prog, WithDeliveryPolicy(DeliverRandom), WithSeed(8))
+	if err := CheckTrace(params, events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracePropertyRandomTraffic(t *testing.T) {
+	// Random exchange programs must satisfy every model invariant
+	// under all delivery-policy x accept-order combinations.
+	policies := []DeliveryPolicy{DeliverMaxLatency, DeliverMinLatency, DeliverRandom}
+	orders := []AcceptOrder{AcceptFIFO, AcceptLIFO, AcceptRandom}
+	for seed := uint64(0); seed < 6; seed++ {
+		pCount := 4 + int(seed)*2
+		params := Params{P: pCount, L: 8 + int64(seed)*4, O: 1 + int64(seed%2), G: 2 + int64(seed%3)}
+		fan := 2 + int(seed%3)
+		prog := func(p Proc) {
+			n := p.P()
+			for k := 1; k <= fan; k++ {
+				p.Send((p.ID()+k)%n, 0, int64(k), 0)
+			}
+			for k := 0; k < fan; k++ {
+				p.Recv()
+			}
+		}
+		for _, pol := range policies {
+			for _, ord := range orders {
+				var events []Event
+				m := NewMachine(params,
+					WithDeliveryPolicy(pol), WithAcceptOrder(ord), WithSeed(seed),
+					WithEventLog(func(e Event) { events = append(events, e) }))
+				res, err := m.Run(prog)
+				if err != nil {
+					t.Fatalf("seed %d %v/%v: %v", seed, pol, ord, err)
+				}
+				if err := CheckTrace(params, events); err != nil {
+					t.Fatalf("seed %d %v/%v: %v", seed, pol, ord, err)
+				}
+				if res.MessagesSent != int64(pCount*fan) {
+					t.Fatalf("seed %d: %d messages, want %d", seed, res.MessagesSent, pCount*fan)
+				}
+			}
+		}
+	}
+}
+
+func TestFormatTrace(t *testing.T) {
+	params := Params{P: 2, L: 8, O: 1, G: 2}
+	events, _ := collectTrace(t, params, pingProgram)
+	out := FormatTrace(events)
+	for _, want := range []string{"submit", "accept", "deliver", "acquire", "0->1", "payload=42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 4 {
+		t.Fatalf("expected 4 lines, got %d", lines)
+	}
+}

@@ -1,0 +1,442 @@
+// Package netlogp implements the LogP abstraction directly on the
+// point-to-point networks of Section 5, completing the direction that
+// internal/netrun provides for BSP: an unmodified logp.Program runs
+// with its processors paced by the overhead o and gap G, while every
+// message's delivery time is decided by the packet network itself —
+// the co-simulation advances the netsim.Stepper in lockstep with the
+// processor clocks.
+//
+// The machine reports the per-message latency distribution it
+// observed, which is exactly the quantity the paper's Section 5
+// analysis bounds: a network supports stall-free LogP with latency
+// parameter L* only if capacity-paced traffic's worst message latency
+// stays below L*. Experiment E13 measures that per topology.
+package netlogp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/logp"
+	"repro/internal/netsim"
+)
+
+// Machine runs LogP programs over a packet network.
+type Machine struct {
+	params logp.Params
+	net    *netsim.Network
+}
+
+// NewMachine pairs LogP pacing parameters with a network. The
+// parameters' P must match the network's processor count; L is the
+// nominal latency exposed to programs via Params() (e.g. for choosing
+// tree arities) but plays no role in delivery — the network does.
+func NewMachine(params logp.Params, net *netsim.Network) *Machine {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	if params.P != net.G.P() {
+		panic(fmt.Sprintf("netlogp: params have p=%d, network %d", params.P, net.G.P()))
+	}
+	return &Machine{params: params, net: net}
+}
+
+// Result reports a run.
+type Result struct {
+	// Time is the maximum final processor clock.
+	Time int64
+	// Messages counts submissions.
+	Messages int64
+	// MaxMsgLatency and MeanMsgLatency describe observed
+	// injection-to-arrival times.
+	MaxMsgLatency  int64
+	MeanMsgLatency float64
+	// ProcTimes holds each processor's final clock.
+	ProcTimes []int64
+}
+
+// Run executes prog. The simulation is deterministic.
+func (m *Machine) Run(prog logp.Program) (Result, error) {
+	eng := &engine{
+		params:  m.params,
+		stepper: m.net.NewStepper(),
+		stopc:   make(chan struct{}),
+	}
+	defer close(eng.stopc)
+	if err := eng.run(prog); err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Messages:      eng.totalMsgs,
+		MaxMsgLatency: eng.maxLat,
+		ProcTimes:     make([]int64, m.params.P),
+	}
+	if eng.totalMsgs > 0 {
+		res.MeanMsgLatency = float64(eng.sumLat) / float64(eng.totalMsgs)
+	}
+	for i, p := range eng.procs {
+		res.ProcTimes[i] = p.clock
+		if p.clock > res.Time {
+			res.Time = p.clock
+		}
+	}
+	return res, nil
+}
+
+// engine is the co-simulation core: the same coroutine-style
+// conservative scheduler as the other engines, with the packet network
+// as the medium. The network clock is advanced lazily: before a
+// processor acts at time T, every network step up to T has been
+// performed, injecting queued submissions at their instants.
+type engine struct {
+	params  logp.Params
+	stepper *netsim.Stepper
+	procs   []*nproc
+
+	injections injHeap // submissions not yet handed to the network
+	inFlight   map[int64]flight
+	msgSeq     int64
+	totalMsgs  int64
+	maxLat     int64
+	sumLat     int64
+
+	stopc   chan struct{}
+	procErr error
+}
+
+type flight struct {
+	msg logp.Message
+	at  int64 // injection step
+}
+
+type injection struct {
+	at  int64
+	id  int64
+	msg logp.Message
+}
+
+type injHeap []injection
+
+func (h injHeap) Len() int { return len(h) }
+func (h injHeap) Less(i, j int) bool {
+	return h[i].at < h[j].at || (h[i].at == h[j].at && h[i].id < h[j].id)
+}
+func (h injHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *injHeap) Push(x interface{}) { *h = append(*h, x.(injection)) }
+func (h *injHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+type nstate uint8
+
+const (
+	nReady nstate = iota
+	nWaitMsg
+	nDone
+)
+
+type narrived struct {
+	msg logp.Message
+	at  int64
+}
+
+type nproc struct {
+	id      int
+	eng     *engine
+	clock   int64
+	nextSub int64
+	nextAcq int64
+	buf     []narrived
+	state   nstate
+	pending nreq
+	req     chan nreq
+	res     chan nres
+}
+
+type nop uint8
+
+const (
+	nCompute nop = iota
+	nIdle
+	nSend
+	nRecv
+	nTryRecv
+	nBuffered
+	nOpDone
+	nOpPanic
+)
+
+type nreq struct {
+	op  nop
+	n   int64
+	msg logp.Message
+	err error
+}
+
+type nres struct {
+	msg logp.Message
+	ok  bool
+	n   int64
+}
+
+var errStopped = errors.New("netlogp: machine stopped")
+
+var _ logp.Proc = (*nproc)(nil)
+
+func (p *nproc) ID() int             { return p.id }
+func (p *nproc) P() int              { return p.eng.params.P }
+func (p *nproc) Params() logp.Params { return p.eng.params }
+func (p *nproc) Now() int64          { return p.clock }
+func (p *nproc) WaitUntil(t int64)   { p.call(nreq{op: nIdle, n: t}) }
+func (p *nproc) Recv() logp.Message  { return p.call(nreq{op: nRecv}).msg }
+func (p *nproc) Buffered() int       { return int(p.call(nreq{op: nBuffered}).n) }
+
+func (p *nproc) call(r nreq) nres {
+	select {
+	case p.req <- r:
+	case <-p.eng.stopc:
+		panic(errStopped)
+	}
+	select {
+	case v := <-p.res:
+		return v
+	case <-p.eng.stopc:
+		panic(errStopped)
+	}
+}
+
+func (p *nproc) Compute(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("netlogp: Compute(%d) with negative cycles", n))
+	}
+	if n == 0 {
+		return
+	}
+	p.call(nreq{op: nCompute, n: n})
+}
+
+func (p *nproc) Send(dst int, tag int32, payload, aux int64) {
+	p.SendBody(dst, tag, payload, aux, nil)
+}
+
+func (p *nproc) SendBody(dst int, tag int32, payload, aux int64, body interface{}) {
+	if dst < 0 || dst >= p.eng.params.P {
+		panic(fmt.Sprintf("netlogp: Send to invalid destination %d (P=%d)", dst, p.eng.params.P))
+	}
+	if dst == p.id {
+		panic("netlogp: Send to self; use local state instead")
+	}
+	p.call(nreq{op: nSend, msg: logp.Message{
+		Src: p.id, Dst: dst, Tag: tag, Payload: payload, Aux: aux, Body: body,
+	}})
+}
+
+func (p *nproc) TryRecv() (logp.Message, bool) {
+	r := p.call(nreq{op: nTryRecv})
+	return r.msg, r.ok
+}
+
+func (e *engine) run(prog logp.Program) error {
+	n := e.params.P
+	e.procs = make([]*nproc, n)
+	e.inFlight = map[int64]flight{}
+	for i := 0; i < n; i++ {
+		p := &nproc{id: i, eng: e, req: make(chan nreq), res: make(chan nres)}
+		e.procs[i] = p
+		go func(p *nproc) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					select {
+					case p.req <- nreq{op: nOpDone}:
+					case <-e.stopc:
+					}
+					return
+				}
+				if err, ok := r.(error); ok && errors.Is(err, errStopped) {
+					return
+				}
+				select {
+				case p.req <- nreq{op: nOpPanic, err: fmt.Errorf("netlogp: processor %d panicked: %v", p.id, r)}:
+				case <-e.stopc:
+				}
+			}()
+			prog(p)
+		}(p)
+		e.await(p)
+	}
+
+	for {
+		var next *nproc
+		horizon := int64(math.MaxInt64)
+		for _, p := range e.procs {
+			if p.state == nReady && p.clock < horizon {
+				horizon = p.clock
+				next = p
+			}
+		}
+		if next == nil {
+			allDone := true
+			for _, p := range e.procs {
+				if p.state != nDone {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				break
+			}
+			if e.procErr != nil {
+				return e.procErr
+			}
+			if len(e.injections) == 0 && e.stepper.Pending() == 0 {
+				var blocked []int
+				for _, p := range e.procs {
+					if p.state == nWaitMsg {
+						blocked = append(blocked, p.id)
+					}
+				}
+				return fmt.Errorf("netlogp: deadlock: processors %v blocked on Recv with no packets in flight", blocked)
+			}
+			// Everybody waits on the network: advance it one step.
+			e.advanceTo(e.stepper.Step() + 1)
+			continue
+		}
+		// Commit the network up to the acting processor's clock.
+		e.advanceTo(next.clock)
+		e.exec(next)
+	}
+	return e.procErr
+}
+
+// advanceTo steps the network to the given time, injecting queued
+// submissions at their instants and delivering arrivals into buffers.
+func (e *engine) advanceTo(t int64) {
+	for e.stepper.Step() < t {
+		now := e.stepper.Step()
+		for len(e.injections) > 0 && e.injections[0].at <= now {
+			inj := heap.Pop(&e.injections).(injection)
+			e.stepper.Inject(inj.id, inj.msg.Src, inj.msg.Dst)
+			e.inFlight[inj.id] = flight{msg: inj.msg, at: inj.at}
+		}
+		arrivals := e.stepper.Advance()
+		var wake []*nproc
+		for _, a := range arrivals {
+			fl := e.inFlight[a.ID]
+			delete(e.inFlight, a.ID)
+			lat := a.Step - fl.at
+			if lat > e.maxLat {
+				e.maxLat = lat
+			}
+			e.sumLat += lat
+			p := e.procs[a.Dst]
+			p.buf = append(p.buf, narrived{msg: fl.msg, at: a.Step})
+			if p.state == nWaitMsg {
+				wake = append(wake, p)
+			}
+		}
+		sort.Slice(wake, func(i, j int) bool { return wake[i].id < wake[j].id })
+		for _, p := range wake {
+			if p.state == nWaitMsg && len(p.buf) > 0 {
+				e.completeRecv(p)
+			}
+		}
+	}
+}
+
+func (e *engine) await(p *nproc) {
+	p.pending = <-p.req
+	switch p.pending.op {
+	case nOpDone:
+		p.state = nDone
+	case nOpPanic:
+		if e.procErr == nil {
+			e.procErr = p.pending.err
+		}
+		p.state = nDone
+	default:
+		p.state = nReady
+	}
+}
+
+func (e *engine) resume(p *nproc, r nres) {
+	p.res <- r
+	e.await(p)
+}
+
+func (e *engine) exec(p *nproc) {
+	req := p.pending
+	switch req.op {
+	case nCompute:
+		p.clock += req.n
+		e.resume(p, nres{})
+	case nIdle:
+		if req.n > p.clock {
+			p.clock = req.n
+		}
+		e.resume(p, nres{})
+	case nBuffered:
+		cnt := int64(0)
+		for _, a := range p.buf {
+			if a.at > p.clock {
+				break
+			}
+			cnt++
+		}
+		e.resume(p, nres{n: cnt})
+	case nSend:
+		s := p.clock + e.params.O
+		if s < p.nextSub {
+			s = p.nextSub
+		}
+		p.nextSub = s + e.params.G
+		p.clock = s
+		e.msgSeq++
+		e.totalMsgs++
+		heap.Push(&e.injections, injection{at: s, id: e.msgSeq, msg: req.msg})
+		e.resume(p, nres{})
+	case nRecv:
+		if len(p.buf) > 0 {
+			e.completeRecv(p)
+		} else {
+			p.state = nWaitMsg
+		}
+	case nTryRecv:
+		if len(p.buf) > 0 && p.buf[0].at <= p.clock && p.nextAcq <= p.clock {
+			head := p.buf[0]
+			p.buf = p.buf[1:]
+			r := p.clock
+			p.clock = r + e.params.O
+			p.nextAcq = r + e.params.G
+			e.resume(p, nres{msg: head.msg, ok: true})
+		} else {
+			p.clock++
+			e.resume(p, nres{})
+		}
+	default:
+		panic(fmt.Sprintf("netlogp: unexpected op %d", req.op))
+	}
+}
+
+func (e *engine) completeRecv(p *nproc) {
+	head := p.buf[0]
+	p.buf = p.buf[1:]
+	r := p.clock
+	if head.at > r {
+		r = head.at
+	}
+	if p.nextAcq > r {
+		r = p.nextAcq
+	}
+	p.clock = r + e.params.O
+	p.nextAcq = r + e.params.G
+	p.state = nReady
+	e.resume(p, nres{msg: head.msg, ok: true})
+}

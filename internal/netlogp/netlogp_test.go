@@ -1,0 +1,267 @@
+package netlogp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/logp"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+func cubeMachine(p int) *Machine {
+	g := topology.Hypercube(p, true)
+	params := logp.Params{P: p, L: 2 * int64(g.Diameter()), O: 1, G: 2}
+	return NewMachine(params, netsim.New(g))
+}
+
+func TestPingLatencyIsNetworkDistance(t *testing.T) {
+	m := cubeMachine(8)
+	var got int64
+	res, err := m.Run(func(p logp.Proc) {
+		switch p.ID() {
+		case 0:
+			p.Send(7, 0, 5, 0) // 0 -> 7 is 3 hops on the 3-cube
+		case 7:
+			got = p.Recv().Payload
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("payload = %d", got)
+	}
+	// An uncontended packet takes exactly hop-count steps.
+	if res.MaxMsgLatency != 3 {
+		t.Fatalf("latency = %d, want 3 (hop count)", res.MaxMsgLatency)
+	}
+	// Submission at o=1, arrival at 4, acquisition ends at 5.
+	if res.ProcTimes[7] != 5 {
+		t.Fatalf("receiver clock = %d, want 5", res.ProcTimes[7])
+	}
+}
+
+func TestGapPacesInjection(t *testing.T) {
+	m := cubeMachine(4)
+	res, err := m.Run(func(p logp.Proc) {
+		switch p.ID() {
+		case 0:
+			for k := 0; k < 4; k++ {
+				p.Send(1, 0, int64(k), 0) // neighbor: 1 hop each
+			}
+		case 1:
+			for k := 0; k < 4; k++ {
+				p.Recv()
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Submissions at 1, 3, 5, 7; each arrives one step later; last
+	// acquisition at 8, ends at 9.
+	if res.ProcTimes[0] != 7 {
+		t.Fatalf("sender clock = %d, want 7", res.ProcTimes[0])
+	}
+	if res.ProcTimes[1] != 9 {
+		t.Fatalf("receiver clock = %d, want 9", res.ProcTimes[1])
+	}
+	if res.MaxMsgLatency != 1 {
+		t.Fatalf("uncontended neighbor latency = %d, want 1", res.MaxMsgLatency)
+	}
+}
+
+func TestCongestionRaisesLatency(t *testing.T) {
+	// Many processors targeting one destination share its incoming
+	// links, so observed latency must exceed the uncontended
+	// distance.
+	const p = 16
+	m := cubeMachine(p)
+	res, err := m.Run(func(pr logp.Proc) {
+		if pr.ID() != 0 {
+			pr.Send(0, 0, 1, 0)
+			return
+		}
+		for i := 0; i < p-1; i++ {
+			pr.Recv()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diam := int64(4)
+	if res.MaxMsgLatency <= diam {
+		t.Fatalf("hot-spot latency %d not above diameter %d", res.MaxMsgLatency, diam)
+	}
+}
+
+func TestCollectiveRunsOnNetwork(t *testing.T) {
+	// The CB collective, written for abstract LogP, runs unchanged on
+	// the co-simulated network machine.
+	const p = 16
+	m := cubeMachine(p)
+	sums := make([]int64, p)
+	res, err := m.Run(func(pr logp.Proc) {
+		mb := collective.NewMailbox(pr)
+		sums[pr.ID()] = collective.CombineBroadcast(mb, 1, int64(pr.ID()), collective.OpSum)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(p * (p - 1) / 2)
+	for i, s := range sums {
+		if s != want {
+			t.Fatalf("proc %d sum = %d, want %d", i, s, want)
+		}
+	}
+	if res.Time <= 0 || res.Messages == 0 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestTopologyOrdering(t *testing.T) {
+	// The same LogP collective is slower on a mesh-backed machine
+	// than on a hypercube-backed one at equal p (Table 1's ordering,
+	// per-message edition).
+	const p = 64
+	run := func(g *topology.Graph) int64 {
+		params := logp.Params{P: p, L: 2 * int64(g.Diameter()), O: 1, G: 2}
+		m := NewMachine(params, netsim.New(g))
+		res, err := m.Run(func(pr logp.Proc) {
+			n := pr.P()
+			for k := 1; k <= 8; k++ {
+				pr.Send((pr.ID()+k*11)%n, 0, 1, 0)
+			}
+			for k := 1; k <= 8; k++ {
+				pr.Recv()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Time
+	}
+	mesh := run(topology.Array(8, 2, false))
+	cube := run(topology.Hypercube(p, true))
+	if cube >= mesh {
+		t.Fatalf("hypercube (%d) not faster than mesh (%d)", cube, mesh)
+	}
+}
+
+func TestCapacityPacedLatencyWithinLStar(t *testing.T) {
+	// Section 5's support claim, per message: if every processor
+	// paces its injections at the derived G* and sends a capacity-
+	// bounded workload, the worst observed latency stays within the
+	// derived L*.
+	g := topology.Hypercube(32, true)
+	meas := netsim.MeasureGL(g, []int{1, 2, 4, 8}, 3, 7, false)
+	gStar, lStar := meas.LogPParams()
+	params := logp.Params{P: 32, L: int64(lStar), O: 1, G: int64(gStar)}
+	m := NewMachine(params, netsim.New(g))
+	cap := int(params.Capacity())
+	res, err := m.Run(func(pr logp.Proc) {
+		n := pr.P()
+		for k := 1; k <= cap; k++ {
+			pr.Send((pr.ID()+k)%n, 0, 1, 0)
+		}
+		for k := 1; k <= cap; k++ {
+			pr.Recv()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxMsgLatency > params.L {
+		t.Fatalf("capacity-paced worst latency %d exceeds L* = %d", res.MaxMsgLatency, params.L)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := cubeMachine(4)
+	_, err := m.Run(func(p logp.Proc) {
+		if p.ID() == 3 {
+			p.Recv()
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	m := cubeMachine(4)
+	_, err := m.Run(func(p logp.Proc) {
+		if p.ID() == 1 {
+			panic("netlogp boom")
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "netlogp boom") {
+		t.Fatalf("expected panic error, got %v", err)
+	}
+}
+
+func TestTryRecvAndBufferedAndWaitUntil(t *testing.T) {
+	m := cubeMachine(4)
+	var polls, depth int
+	_, err := m.Run(func(p logp.Proc) {
+		switch p.ID() {
+		case 0:
+			p.Send(1, 0, 9, 0)
+			p.Send(1, 0, 10, 0)
+		case 1:
+			for {
+				if _, ok := p.TryRecv(); ok {
+					break
+				}
+				polls++
+			}
+			p.WaitUntil(50)
+			depth = p.Buffered()
+			p.Recv()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polls == 0 {
+		t.Fatal("expected at least one failed poll before arrival")
+	}
+	if depth != 1 {
+		t.Fatalf("Buffered = %d, want 1", depth)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	prog := func(p logp.Proc) {
+		n := p.P()
+		for k := 1; k <= 3; k++ {
+			p.Send((p.ID()+k)%n, 0, int64(k), 0)
+		}
+		for k := 1; k <= 3; k++ {
+			p.Recv()
+		}
+	}
+	a, err := cubeMachine(8).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cubeMachine(8).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time != b.Time || a.MaxMsgLatency != b.MaxMsgLatency {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestNewMachineValidation(t *testing.T) {
+	g := topology.Hypercube(8, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched p did not panic")
+		}
+	}()
+	NewMachine(logp.Params{P: 4, L: 8, O: 1, G: 2}, netsim.New(g))
+}

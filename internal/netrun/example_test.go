@@ -1,0 +1,33 @@
+package netrun_test
+
+import (
+	"fmt"
+
+	"repro/internal/bsp"
+	"repro/internal/netrun"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// One BSP superstep executed on a concrete machine: the message set is
+// routed packet-by-packet on a 16-processor hypercube and the barrier
+// costs the diameter.
+func ExampleMachine_Run() {
+	net := netsim.New(topology.Hypercube(16, true))
+	m := netrun.NewMachine(net)
+	res, err := m.Run(func(p bsp.Proc) {
+		p.Send((p.ID()+1)%p.P(), 0, int64(p.ID()), 0)
+		p.Compute(3)
+		p.Sync()
+		p.Recv()
+	})
+	if err != nil {
+		panic(err)
+	}
+	c := res.Costs[0]
+	fmt.Printf("w=%d h=%d routed-in=%d steps, barrier=diameter=4\n", c.W, c.H, c.RouteSteps)
+	fmt.Println("total:", res.Time)
+	// Output:
+	// w=3 h=1 routed-in=4 steps, barrier=diameter=4
+	// total: 11
+}

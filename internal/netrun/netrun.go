@@ -1,0 +1,220 @@
+// Package netrun implements the BSP abstraction directly on the
+// point-to-point networks of Section 5: every superstep's message set
+// is routed packet-by-packet on the topology by internal/netsim, and
+// the barrier is charged the network diameter ("on any processor
+// network barrier synchronization can always be implemented in time
+// proportional to the diameter").
+//
+// Where internal/bsp charges the abstract cost w + g·h + l, netrun
+// measures what a concrete machine built on a mesh, hypercube,
+// butterfly, CCC, shuffle-exchange or mesh-of-trees would actually
+// spend — making the paper's portability argument executable: one BSP
+// program, many machines, performance tracking each network's
+// gamma(p)·h + delta(p).
+package netrun
+
+import (
+	"fmt"
+
+	"repro/internal/bsp"
+	"repro/internal/logp"
+	"repro/internal/netsim"
+	"repro/internal/relation"
+	"repro/internal/topology"
+)
+
+// Machine executes BSP programs on a packet network.
+type Machine struct {
+	net *netsim.Network
+	// barrierCost is charged once per superstep; it defaults to the
+	// network diameter.
+	barrierCost int64
+	// valiant enables two-phase randomized routing.
+	valiant bool
+	seed    uint64
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithBarrierCost overrides the per-superstep synchronization charge
+// (default: the network diameter).
+func WithBarrierCost(c int64) Option {
+	return func(m *Machine) { m.barrierCost = c }
+}
+
+// WithValiant routes each packet through a random intermediate.
+func WithValiant(seed uint64) Option {
+	return func(m *Machine) { m.valiant = true; m.seed = seed }
+}
+
+// NewMachine builds a BSP-on-network machine over net.
+func NewMachine(net *netsim.Network, opts ...Option) *Machine {
+	m := &Machine{net: net, barrierCost: int64(net.G.Diameter())}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// SuperstepCost records one superstep's measured components.
+type SuperstepCost struct {
+	// W is the maximum local work charged by any processor.
+	W int64
+	// H is the degree of the superstep's relation.
+	H int64
+	// RouteSteps is the measured network time for the message set.
+	RouteSteps int64
+}
+
+// Result reports an execution.
+type Result struct {
+	// Time = sum over supersteps of W + RouteSteps + barrier.
+	Time int64
+	// Supersteps counts charged supersteps.
+	Supersteps int
+	// MessagesSent counts all routed messages.
+	MessagesSent int64
+	// Costs holds per-superstep components.
+	Costs []SuperstepCost
+}
+
+// stepLog records one processor's activity in one superstep.
+type stepLog struct {
+	work   int64
+	outbox []bsp.Message
+}
+
+// recordingProc wraps the native machine's Proc, logging work and
+// outboxes per superstep. Each processor writes only its own log slot,
+// so the native machine's parallelism stays race-free without locks.
+type recordingProc struct {
+	bsp.Proc
+	log *[]stepLog // this processor's per-superstep records
+	cur stepLog
+}
+
+func (r *recordingProc) Compute(n int64) {
+	r.cur.work += n
+	r.Proc.Compute(n)
+}
+
+func (r *recordingProc) Send(dst int, tag int32, payload, aux int64) {
+	r.cur.outbox = append(r.cur.outbox, bsp.Message{Src: r.Proc.ID(), Dst: dst, Tag: tag, Payload: payload, Aux: aux})
+	r.Proc.Send(dst, tag, payload, aux)
+}
+
+func (r *recordingProc) Sync() {
+	*r.log = append(*r.log, r.cur)
+	r.cur = stepLog{}
+	r.Proc.Sync()
+}
+
+// Run executes prog: the program runs on a native BSP machine (for
+// semantics), while every superstep's message set is replayed on the
+// packet network to measure its real routing time.
+func (m *Machine) Run(prog bsp.Program) (Result, error) {
+	p := m.net.G.P()
+	// The native machine only provides semantics; its g and l do not
+	// enter the measured cost.
+	native := bsp.NewMachine(bsp.Params{P: p, G: 1, L: 1})
+	logs := make([][]stepLog, p)
+	nres, err := native.Run(func(pr bsp.Proc) {
+		rec := &recordingProc{Proc: pr, log: &logs[pr.ID()]}
+		prog(rec)
+		// Flush the final partial superstep's record.
+		*rec.log = append(*rec.log, rec.cur)
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	maxSteps := 0
+	for _, l := range logs {
+		if len(l) > maxSteps {
+			maxSteps = len(l)
+		}
+	}
+	res := Result{}
+	for s := 0; s < maxSteps; s++ {
+		var cost SuperstepCost
+		rel := relation.Relation{P: p}
+		fanIn := make([]int64, p)
+		for id, l := range logs {
+			if s >= len(l) {
+				continue
+			}
+			if l[s].work > cost.W {
+				cost.W = l[s].work
+			}
+			if out := int64(len(l[s].outbox)); out > cost.H {
+				cost.H = out
+			}
+			for _, msg := range l[s].outbox {
+				rel.Pairs = append(rel.Pairs, relation.Pair{Src: id, Dst: msg.Dst})
+				fanIn[msg.Dst]++
+			}
+		}
+		for _, f := range fanIn {
+			if f > cost.H {
+				cost.H = f
+			}
+		}
+		if cost.W == 0 && len(rel.Pairs) == 0 {
+			continue
+		}
+		if len(rel.Pairs) > 0 {
+			r := m.net.Route(rel, netsim.RouteOptions{Valiant: m.valiant, Seed: m.seed + uint64(s)})
+			cost.RouteSteps = int64(r.Steps)
+			res.MessagesSent += int64(r.Packets)
+		}
+		res.Costs = append(res.Costs, cost)
+		res.Time += cost.W + cost.RouteSteps + m.barrierCost
+		res.Supersteps++
+	}
+	// Sanity: the native machine and the replay must agree on the
+	// message volume.
+	if nres.MessagesSent != res.MessagesSent {
+		return res, fmt.Errorf("netrun: replayed %d messages, native machine routed %d (bug)", res.MessagesSent, nres.MessagesSent)
+	}
+	return res, nil
+}
+
+// Predict returns the abstract-cost prediction for the same execution
+// under parameters (g, l): sum of W + g*H + l. Comparing it with the
+// measured Time quantifies how well the bandwidth-latency abstraction
+// models this network.
+func (r Result) Predict(g, l int64) int64 {
+	var t int64
+	for _, c := range r.Costs {
+		t += c.W + g*c.H + l
+	}
+	return t
+}
+
+// DeriveLogP measures a topology's routing curve and returns integer
+// LogP parameters a machine built on it could guarantee, completing
+// Section 5's other direction: netsim.MeasureGL gives the attainable
+// BSP parameters, LogPParams the attainable (G*, L*), and this helper
+// packages them (with the supplied overhead o) as a valid logp.Params
+// for running LogP programs "as if on this network".
+func DeriveLogP(g *topology.Graph, o int64, seed uint64) logp.Params {
+	hs := []int{1, 2, 4, 8}
+	m := netsim.MeasureGL(g, hs, 3, seed, false)
+	gStar, lStar := m.LogPParams()
+	G := int64(gStar + 0.999)
+	L := int64(lStar + 0.999)
+	if o < 1 {
+		o = 1
+	}
+	if G < 2 {
+		G = 2
+	}
+	if G < o {
+		G = o
+	}
+	if L < G {
+		L = G
+	}
+	return logp.Params{P: g.P(), L: L, O: o, G: G}
+}

@@ -1,0 +1,304 @@
+// Package netsim routes h-relations over the point-to-point networks
+// of internal/topology with a synchronous store-and-forward packet
+// simulator, to measure the bandwidth and latency parameters a machine
+// built on each topology can actually attain (Section 5 of the paper).
+//
+// Model: time advances in unit steps; each directed link transmits at
+// most one packet per step out of a FIFO queue; packets follow
+// precomputed shortest-path next hops (optionally through a random
+// Valiant intermediate to smooth adversarial patterns). Under the
+// single-port discipline a node may transmit on only one of its links
+// per step (round-robin over non-empty queues), which is what
+// separates the two hypercube rows of Table 1.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Network wraps a topology with routing tables.
+type Network struct {
+	G *topology.Graph
+	// next[u*n + d] is the neighbor of node u on a shortest path to
+	// node d (u itself when u == d).
+	next []int32
+	// edge[u][k] is the directed-edge index of u's k-th outgoing
+	// link; edges are numbered consecutively.
+	edgeIdx [][]int32
+	// edgeTo[e] is the head node of directed edge e.
+	edgeTo []int32
+	nEdges int
+}
+
+// New builds routing tables for g (BFS from every node).
+func New(g *topology.Graph) *Network {
+	n := g.Nodes()
+	net := &Network{G: g, next: make([]int32, n*n)}
+	net.edgeIdx = make([][]int32, n)
+	for u := 0; u < n; u++ {
+		net.edgeIdx[u] = make([]int32, len(g.Adj[u]))
+		for k, v := range g.Adj[u] {
+			net.edgeIdx[u][k] = int32(net.nEdges)
+			net.edgeTo = append(net.edgeTo, int32(v))
+			net.nEdges++
+		}
+	}
+	// BFS from each destination over the undirected graph; next hop
+	// toward d is the BFS parent.
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for d := 0; d < n; d++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[d] = 0
+		queue = append(queue[:0], int32(d))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Adj[u] {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					// From v, the next hop toward d is u.
+					net.next[int(v)*n+d] = u
+					queue = append(queue, int32(v))
+				}
+			}
+		}
+		net.next[d*n+d] = int32(d)
+		for u := 0; u < n; u++ {
+			if dist[u] < 0 {
+				panic(fmt.Sprintf("netsim: %s disconnected (node %d unreachable from %d)", g.Name, u, d))
+			}
+		}
+	}
+	return net
+}
+
+// NextHop returns the neighbor of u on a shortest path to d.
+func (net *Network) NextHop(u, d int) int {
+	return int(net.next[u*net.G.Nodes()+d])
+}
+
+// RouteOptions configures a routing run.
+type RouteOptions struct {
+	// Valiant routes each packet through a uniformly random
+	// intermediate node first (two-phase randomized routing),
+	// trading a factor ~2 in distance for smoothed congestion.
+	Valiant bool
+	// Seed drives the Valiant intermediate choices.
+	Seed uint64
+	// MaxSteps aborts a run that exceeds this bound (0 selects a
+	// generous default); exceeding it panics, signalling a bug.
+	MaxSteps int
+}
+
+// RouteResult reports one routing run.
+type RouteResult struct {
+	// Steps is the number of synchronous steps until the last packet
+	// was delivered.
+	Steps int
+	// Packets is the number of packets routed.
+	Packets int
+	// TotalHops sums link traversals over all packets.
+	TotalHops int64
+	// MaxQueue is the peak FIFO depth on any directed link.
+	MaxQueue int
+}
+
+type packet struct {
+	dst   int32 // final destination node
+	via   int32 // Valiant intermediate (-1 when unused or passed)
+	hops  int32
+	birth int32
+}
+
+// Route delivers every message of rel and returns the measured cost.
+func (net *Network) Route(rel relation.Relation, opts RouteOptions) RouteResult {
+	if rel.P != net.G.P() {
+		panic(fmt.Sprintf("netsim: relation has %d processors, network %d", rel.P, net.G.P()))
+	}
+	n := net.G.Nodes()
+	rng := stats.NewRNG(opts.Seed)
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 10000 + 200*n + 40*len(rel.Pairs)
+	}
+
+	queues := make([][]packet, net.nEdges)
+	res := RouteResult{Packets: len(rel.Pairs)}
+	remaining := 0
+
+	enqueue := func(u int, pk packet) bool {
+		// Returns false when the packet is already home.
+		target := pk.via
+		if target < 0 {
+			target = pk.dst
+		}
+		if int32(u) == pk.dst && pk.via < 0 {
+			return false
+		}
+		if int32(u) == target && pk.via >= 0 {
+			// Reached the intermediate; head for the real
+			// destination.
+			pk.via = -1
+			if int32(u) == pk.dst {
+				return false
+			}
+			target = pk.dst
+		}
+		hop := net.NextHop(u, int(target))
+		for k, v := range net.G.Adj[u] {
+			if v == hop {
+				e := net.edgeIdx[u][k]
+				queues[e] = append(queues[e], pk)
+				if len(queues[e]) > res.MaxQueue {
+					res.MaxQueue = len(queues[e])
+				}
+				return true
+			}
+		}
+		panic("netsim: next hop not adjacent (bug)")
+	}
+
+	for _, pr := range rel.Pairs {
+		srcNode := net.G.Processors[pr.Src]
+		dstNode := net.G.Processors[pr.Dst]
+		pk := packet{dst: int32(dstNode), via: -1}
+		if opts.Valiant {
+			pk.via = int32(net.G.Processors[rng.Intn(rel.P)])
+		}
+		if enqueue(srcNode, pk) {
+			remaining++
+		}
+	}
+
+	type arrival struct {
+		node int
+		pk   packet
+	}
+	var arrivals []arrival
+	for step := 1; remaining > 0; step++ {
+		if step > maxSteps {
+			panic(fmt.Sprintf("netsim: %s routing exceeded %d steps with %d packets left (bug or pathological congestion)", net.G.Name, maxSteps, remaining))
+		}
+		arrivals = arrivals[:0]
+		if net.G.MultiPort {
+			for e := 0; e < net.nEdges; e++ {
+				if len(queues[e]) == 0 {
+					continue
+				}
+				pk := queues[e][0]
+				queues[e] = queues[e][1:]
+				pk.hops++
+				arrivals = append(arrivals, arrival{node: int(net.edgeTo[e]), pk: pk})
+			}
+		} else {
+			// Single-port: each node transmits on one link,
+			// rotating the starting link each step for fairness.
+			for u := 0; u < n; u++ {
+				deg := len(net.edgeIdx[u])
+				if deg == 0 {
+					continue
+				}
+				start := (step + u) % deg
+				for k := 0; k < deg; k++ {
+					e := net.edgeIdx[u][(start+k)%deg]
+					if len(queues[e]) == 0 {
+						continue
+					}
+					pk := queues[e][0]
+					queues[e] = queues[e][1:]
+					pk.hops++
+					arrivals = append(arrivals, arrival{node: int(net.edgeTo[e]), pk: pk})
+					break
+				}
+			}
+		}
+		for _, a := range arrivals {
+			res.TotalHops++
+			if !enqueue(a.node, a.pk) {
+				remaining--
+				res.Steps = step
+			}
+		}
+	}
+	return res
+}
+
+// Measurement is the empirically fitted cost model of a topology:
+// routing a random h-relation takes about G*h + L steps.
+type Measurement struct {
+	Topology string
+	P        int
+	// Fit of mean routing steps against h.
+	G, L float64
+	R2   float64
+	// PermTime is the measured time to route one random permutation
+	// (an empirical latency/diameter proxy).
+	PermTime float64
+	// Points holds (h, steps) averages used for the fit.
+	Points [][2]float64
+}
+
+// MeasureGL routes random regular h-relations for each h in hs
+// (averaging over trials) and fits steps = G*h + L.
+func MeasureGL(g *topology.Graph, hs []int, trials int, seed uint64, valiant bool) Measurement {
+	net := New(g)
+	rng := stats.NewRNG(seed)
+	m := Measurement{Topology: g.Name, P: g.P()}
+	xs := make([]float64, 0, len(hs))
+	ys := make([]float64, 0, len(hs))
+	for _, h := range hs {
+		var sum float64
+		for t := 0; t < trials; t++ {
+			rel := relation.RandomRegular(rng, g.P(), h)
+			r := net.Route(rel, RouteOptions{Valiant: valiant, Seed: rng.Uint64()})
+			sum += float64(r.Steps)
+		}
+		mean := sum / float64(trials)
+		xs = append(xs, float64(h))
+		ys = append(ys, mean)
+		m.Points = append(m.Points, [2]float64{float64(h), mean})
+		if h == 1 {
+			m.PermTime = mean
+		}
+	}
+	fit := stats.FitLine(xs, ys)
+	m.G, m.L, m.R2 = fit.Slope, fit.Intercept, fit.R2
+	if m.PermTime == 0 && len(ys) > 0 {
+		m.PermTime = ys[0]
+	}
+	return m
+}
+
+// LogPParams derives best attainable stall-free LogP parameters
+// (G*, L*) from a topology measurement, following Section 5: the LogP
+// definition requires any ceil(L/G)-relation to route within L, and
+// with the fitted cost T(h) = gamma*h + delta that constraint is
+// L >= ceil(L/G)*gamma + delta. Choosing G* = 2*gamma leaves half of
+// L for the remaining terms, and L* = 3*(gamma + delta) adds headroom
+// for worst-case deviations above the mean-based fit (the definition
+// is a worst-case guarantee): T(L*/G*) <= 1.5*(gamma+delta) + delta
+// <= L*. This realizes the paper's G* = Theta(gamma(p)),
+// L* = Theta(gamma(p) + delta(p)).
+func (m Measurement) LogPParams() (gStar, lStar float64) {
+	gamma := m.G
+	if gamma < 1 {
+		gamma = 1
+	}
+	delta := m.L
+	if delta < 1 {
+		delta = 1
+	}
+	gStar = 2 * gamma
+	lStar = 3 * (gamma + delta)
+	if lStar < gStar {
+		lStar = gStar
+	}
+	return gStar, lStar
+}

@@ -1,0 +1,149 @@
+package netsim
+
+import "fmt"
+
+// Stepper is the incremental interface to the packet network: inject
+// packets at the current step, advance one step at a time, and collect
+// arrivals. Route is a convenience loop over a Stepper; the LogP-on-
+// network co-simulation in internal/netlogp drives a Stepper in
+// lockstep with its processor clocks.
+type Stepper struct {
+	net     *Network
+	queues  [][]spacket
+	step    int64
+	pending int
+	// MaxQueue is the peak FIFO depth observed on any link.
+	MaxQueue int
+	// TotalHops counts link traversals.
+	TotalHops int64
+
+	procIdx map[int]int
+}
+
+type spacket struct {
+	id  int64
+	dst int32 // destination node
+}
+
+// Arrival reports a packet reaching its destination processor.
+type Arrival struct {
+	ID   int64
+	Dst  int // destination processor id
+	Step int64
+}
+
+// NewStepper returns a stepper positioned at step 0 with an empty
+// network.
+func (net *Network) NewStepper() *Stepper {
+	return &Stepper{net: net, queues: make([][]spacket, net.nEdges)}
+}
+
+// Step returns the current step counter.
+func (s *Stepper) Step() int64 { return s.step }
+
+// Pending reports how many packets are in flight.
+func (s *Stepper) Pending() int { return s.pending }
+
+// Inject enqueues a packet from srcProc to dstProc at the current
+// step. Packets to self are rejected (they never enter the network).
+func (s *Stepper) Inject(id int64, srcProc, dstProc int) {
+	if srcProc == dstProc {
+		panic("netsim: Stepper.Inject to self")
+	}
+	src := s.net.G.Processors[srcProc]
+	dst := s.net.G.Processors[dstProc]
+	s.enqueue(src, spacket{id: id, dst: int32(dst)})
+	s.pending++
+}
+
+func (s *Stepper) enqueue(u int, pk spacket) {
+	hop := s.net.NextHop(u, int(pk.dst))
+	for k, v := range s.net.G.Adj[u] {
+		if v == hop {
+			e := s.net.edgeIdx[u][k]
+			s.queues[e] = append(s.queues[e], pk)
+			if len(s.queues[e]) > s.MaxQueue {
+				s.MaxQueue = len(s.queues[e])
+			}
+			return
+		}
+	}
+	panic(fmt.Sprintf("netsim: next hop %d not adjacent to %d (bug)", hop, u))
+}
+
+// Advance moves the network forward one step and returns the packets
+// that arrived at their destinations during it.
+func (s *Stepper) Advance() []Arrival {
+	s.step++
+	var arrivals []Arrival
+	deliver := func(pk spacket, node int) {
+		s.TotalHops++
+		if int32(node) == pk.dst {
+			arrivals = append(arrivals, Arrival{
+				ID:   pk.id,
+				Dst:  s.procOf(int(pk.dst)),
+				Step: s.step,
+			})
+			s.pending--
+			return
+		}
+		s.enqueue(node, pk)
+	}
+	if s.net.G.MultiPort {
+		type move struct {
+			pk   spacket
+			node int
+		}
+		var moves []move
+		for e := 0; e < s.net.nEdges; e++ {
+			if len(s.queues[e]) == 0 {
+				continue
+			}
+			pk := s.queues[e][0]
+			s.queues[e] = s.queues[e][1:]
+			moves = append(moves, move{pk: pk, node: int(s.net.edgeTo[e])})
+		}
+		for _, mv := range moves {
+			deliver(mv.pk, mv.node)
+		}
+		return arrivals
+	}
+	type move struct {
+		pk   spacket
+		node int
+	}
+	var moves []move
+	n := s.net.G.Nodes()
+	for u := 0; u < n; u++ {
+		deg := len(s.net.edgeIdx[u])
+		if deg == 0 {
+			continue
+		}
+		start := (int(s.step) + u) % deg
+		for k := 0; k < deg; k++ {
+			e := s.net.edgeIdx[u][(start+k)%deg]
+			if len(s.queues[e]) == 0 {
+				continue
+			}
+			pk := s.queues[e][0]
+			s.queues[e] = s.queues[e][1:]
+			moves = append(moves, move{pk: pk, node: int(s.net.edgeTo[e])})
+			break
+		}
+	}
+	for _, mv := range moves {
+		deliver(mv.pk, mv.node)
+	}
+	return arrivals
+}
+
+// procOf maps a processor-hosting node back to its processor id.
+func (s *Stepper) procOf(node int) int {
+	if s.procIdx == nil {
+		s.procIdx = make(map[int]int, len(s.net.G.Processors))
+		for i, n := range s.net.G.Processors {
+			s.procIdx[n] = i
+		}
+	}
+	return s.procIdx[node]
+}

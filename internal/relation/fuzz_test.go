@@ -1,0 +1,57 @@
+package relation
+
+import (
+	"testing"
+)
+
+// FuzzDecompose drives the Hall/König decomposition with arbitrary
+// relations decoded from the fuzz input and checks the three
+// invariants (class count = H, partial permutations, multiset
+// equality).
+func FuzzDecompose(f *testing.F) {
+	f.Add([]byte{2, 0, 1, 1, 0})
+	f.Add([]byte{4, 0, 1, 0, 2, 0, 3, 1, 2, 3, 0})
+	f.Add([]byte{3, 0, 0, 0, 0, 1, 1, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		p := int(data[0]%12) + 2
+		r := Relation{P: p}
+		body := data[1:]
+		for i := 0; i+1 < len(body) && i < 120; i += 2 {
+			r.Pairs = append(r.Pairs, Pair{
+				Src: int(body[i]) % p,
+				Dst: int(body[i+1]) % p,
+			})
+		}
+		classes := Decompose(r)
+		if len(classes) != r.H() {
+			t.Fatalf("got %d classes, want H = %d", len(classes), r.H())
+		}
+		counts := map[Pair]int{}
+		for _, pr := range r.Pairs {
+			counts[pr]++
+		}
+		for ci, class := range classes {
+			srcs := map[int]bool{}
+			dsts := map[int]bool{}
+			for _, pr := range class {
+				if srcs[pr.Src] || dsts[pr.Dst] {
+					t.Fatalf("class %d not a partial permutation", ci)
+				}
+				srcs[pr.Src] = true
+				dsts[pr.Dst] = true
+				counts[pr]--
+				if counts[pr] < 0 {
+					t.Fatalf("pair %+v over-represented", pr)
+				}
+			}
+		}
+		for pr, c := range counts {
+			if c != 0 {
+				t.Fatalf("pair %+v missing (%d left)", pr, c)
+			}
+		}
+	})
+}

@@ -1,0 +1,196 @@
+// Package relation represents and manipulates h-relations, the
+// communication patterns at the heart of both BSP and LogP routing:
+// message sets in which every processor is the source of at most h and
+// the destination of at most h messages.
+//
+// Besides workload generators for the benchmark harness, the package
+// provides the constructive counterpart of the paper's use of Hall's
+// theorem (Section 4.2): Decompose splits any h-relation into exactly h
+// disjoint 1-relations (partial permutations) via bipartite edge
+// colouring, which lets an h-relation be routed off-line in optimal
+// 2o + G(h-1) + L time on LogP.
+package relation
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Pair is a single message slot of a relation: a (source, destination)
+// edge of the bipartite communication multigraph.
+type Pair struct {
+	Src, Dst int
+}
+
+// Relation is a multiset of message slots among P processors.
+type Relation struct {
+	P     int
+	Pairs []Pair
+}
+
+// Validate checks that all endpoints lie in [0, P).
+func (r Relation) Validate() error {
+	if r.P < 1 {
+		return fmt.Errorf("relation: P = %d", r.P)
+	}
+	for i, pr := range r.Pairs {
+		if pr.Src < 0 || pr.Src >= r.P || pr.Dst < 0 || pr.Dst >= r.P {
+			return fmt.Errorf("relation: pair %d = %+v out of range [0,%d)", i, pr, r.P)
+		}
+	}
+	return nil
+}
+
+// Degrees returns the out-degree (messages sent) and in-degree
+// (messages received) of every processor.
+func (r Relation) Degrees() (fanOut, fanIn []int) {
+	fanOut = make([]int, r.P)
+	fanIn = make([]int, r.P)
+	for _, pr := range r.Pairs {
+		fanOut[pr.Src]++
+		fanIn[pr.Dst]++
+	}
+	return fanOut, fanIn
+}
+
+// H returns the degree of the relation: the maximum, over processors,
+// of messages sent or received. The empty relation has degree 0.
+func (r Relation) H() int {
+	fanOut, fanIn := r.Degrees()
+	h := 0
+	for i := 0; i < r.P; i++ {
+		if fanOut[i] > h {
+			h = fanOut[i]
+		}
+		if fanIn[i] > h {
+			h = fanIn[i]
+		}
+	}
+	return h
+}
+
+// MaxOut returns r (the maximum out-degree), the quantity the
+// deterministic routing protocol of Section 4.2 computes in Step 1.
+func (r Relation) MaxOut() int {
+	fanOut, _ := r.Degrees()
+	m := 0
+	for _, d := range fanOut {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// BySource groups the pairs by source processor.
+func (r Relation) BySource() [][]Pair {
+	out := make([][]Pair, r.P)
+	for _, pr := range r.Pairs {
+		out[pr.Src] = append(out[pr.Src], pr)
+	}
+	return out
+}
+
+// Permutation returns a relation in which processor i sends one
+// message to perm[i].
+func Permutation(perm []int) Relation {
+	r := Relation{P: len(perm)}
+	for i, d := range perm {
+		r.Pairs = append(r.Pairs, Pair{Src: i, Dst: d})
+	}
+	return r
+}
+
+// RandomPermutation returns a uniformly random 1-relation.
+func RandomPermutation(rng *stats.RNG, p int) Relation {
+	return Permutation(rng.Perm(p))
+}
+
+// RandomRegular returns an h-relation in which every processor sends
+// exactly h and receives exactly h messages: the superimposition of h
+// independent random permutations.
+func RandomRegular(rng *stats.RNG, p, h int) Relation {
+	r := Relation{P: p, Pairs: make([]Pair, 0, p*h)}
+	for k := 0; k < h; k++ {
+		perm := rng.Perm(p)
+		for i, d := range perm {
+			r.Pairs = append(r.Pairs, Pair{Src: i, Dst: d})
+		}
+	}
+	return r
+}
+
+// RandomIrregular returns a relation in which every processor sends
+// exactly h messages to independent uniform destinations; in-degrees
+// fluctuate around h, so the relation's degree H() is typically
+// somewhat above h. This is the "uniform traffic" workload used to
+// estimate network bandwidth parameters.
+func RandomIrregular(rng *stats.RNG, p, h int) Relation {
+	r := Relation{P: p, Pairs: make([]Pair, 0, p*h)}
+	for i := 0; i < p; i++ {
+		for k := 0; k < h; k++ {
+			r.Pairs = append(r.Pairs, Pair{Src: i, Dst: rng.Intn(p)})
+		}
+	}
+	return r
+}
+
+// CyclicShift returns the 1-relation i -> (i+k) mod p.
+func CyclicShift(p, k int) Relation {
+	r := Relation{P: p}
+	for i := 0; i < p; i++ {
+		r.Pairs = append(r.Pairs, Pair{Src: i, Dst: ((i+k)%p + p) % p})
+	}
+	return r
+}
+
+// HotSpot returns a relation in which h distinct processors (cyclically
+// following target) each send one message to target: the canonical
+// stalling workload of Section 2.2.
+func HotSpot(p, h, target int) Relation {
+	if h >= p {
+		h = p - 1
+	}
+	r := Relation{P: p}
+	for k := 1; k <= h; k++ {
+		r.Pairs = append(r.Pairs, Pair{Src: (target + k) % p, Dst: target})
+	}
+	return r
+}
+
+// AllToAll returns the (p-1)-relation in which every processor sends
+// one message to every other processor.
+func AllToAll(p int) Relation {
+	r := Relation{P: p}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i != j {
+				r.Pairs = append(r.Pairs, Pair{Src: i, Dst: j})
+			}
+		}
+	}
+	return r
+}
+
+// Transpose returns the relation of a sqrt(p) x sqrt(p) matrix
+// transposition: processor (i,j) sends one message to (j,i). p must be
+// a perfect square.
+func Transpose(p int) Relation {
+	side := 1
+	for side*side < p {
+		side++
+	}
+	if side*side != p {
+		panic(fmt.Sprintf("relation: Transpose needs a square processor count, got %d", p))
+	}
+	r := Relation{P: p}
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			if i != j {
+				r.Pairs = append(r.Pairs, Pair{Src: i*side + j, Dst: j*side + i})
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,125 @@
+package sortnet
+
+import "fmt"
+
+// Columnsort (Leighton 1985) sorts an r x s matrix held one column per
+// processor, in a constant number of oblivious rounds, provided
+// s divides r and r >= 2(s-1)^2. It stands in for the paper's use of
+// Cubesort: both are constant-round oblivious algorithms for large
+// blocks, achieving LogP time O(G*r + L) per the Section 4.2 analysis.
+//
+// The implementation uses the standard distributed formulation:
+//
+//	1. sort each column
+//	2. "transpose" redistribution (column-major rank -> row-major rank)
+//	3. sort each column
+//	4. "untranspose" (the inverse redistribution)
+//	5. sort each column
+//	6. boundary merge: Leighton's shift/sort/unshift triple collapses
+//	   to jointly sorting, for every adjacent column pair, the window
+//	   formed by the bottom half of the left column and the top half
+//	   of the right column; the windows are disjoint, so a single
+//	   neighbor exchange realizes all of them.
+//
+// The sorted output is in column-major order: processor j ends up
+// holding global ranks [j*r, (j+1)*r) in ascending order.
+
+// ColumnsortValid reports whether Columnsort's correctness conditions
+// hold for r rows and s columns: s | r, r even, and r >= 2(s-1)^2.
+// s = 1 is trivially valid.
+func ColumnsortValid(r, s int) bool {
+	if s < 1 || r < 1 {
+		return false
+	}
+	if s == 1 {
+		return true
+	}
+	return r%s == 0 && r%2 == 0 && r >= 2*(s-1)*(s-1)
+}
+
+// TransposeDest maps the element at (row idx, column col) of the r x s
+// matrix to its destination under the transpose redistribution: the
+// element with column-major rank q = col*r + idx moves to row-major
+// position (q/s, q%s), i.e. to column q%s at row q/s.
+func TransposeDest(r, s, col, idx int) (dstCol, dstIdx int) {
+	q := col*r + idx
+	return q % s, q / s
+}
+
+// UntransposeDest is the inverse of TransposeDest: the element at
+// row-major rank q = idx*s + col returns to column-major position
+// (q%r, q/r).
+func UntransposeDest(r, s, col, idx int) (dstCol, dstIdx int) {
+	q := idx*s + col
+	return q / r, q % r
+}
+
+// ColumnsortSequential sorts the columns in place; cols[j] is the
+// column held by processor j, all of equal length r. It panics if the
+// validity conditions fail. This is the reference executor; the LogP
+// router runs the same phases with real message traffic.
+func ColumnsortSequential(cols [][]int64) {
+	s := len(cols)
+	if s == 0 {
+		return
+	}
+	r := len(cols[0])
+	for j, c := range cols {
+		if len(c) != r {
+			panic(fmt.Sprintf("sortnet: column %d has %d elements, want %d", j, len(c), r))
+		}
+	}
+	if !ColumnsortValid(r, s) {
+		panic(fmt.Sprintf("sortnet: Columnsort invalid for r=%d s=%d (need s|r, r even, r >= 2(s-1)^2)", r, s))
+	}
+	if s == 1 {
+		sortInt64(cols[0])
+		return
+	}
+
+	redistribute := func(dest func(col, idx int) (int, int)) {
+		next := make([][]int64, s)
+		for j := range next {
+			next[j] = make([]int64, r)
+		}
+		for j := 0; j < s; j++ {
+			for i := 0; i < r; i++ {
+				dc, di := dest(j, i)
+				next[dc][di] = cols[j][i]
+			}
+		}
+		for j := range cols {
+			copy(cols[j], next[j])
+		}
+	}
+
+	// Phases 1-5.
+	for j := range cols {
+		sortInt64(cols[j])
+	}
+	redistribute(func(c, i int) (int, int) { return TransposeDest(r, s, c, i) })
+	for j := range cols {
+		sortInt64(cols[j])
+	}
+	redistribute(func(c, i int) (int, int) { return UntransposeDest(r, s, c, i) })
+	for j := range cols {
+		sortInt64(cols[j])
+	}
+
+	// Phase 6: boundary merges. Windows are disjoint, so process
+	// left to right.
+	half := r / 2
+	for j := 0; j+1 < s; j++ {
+		window := make([]int64, 0, r)
+		window = append(window, cols[j][half:]...)
+		window = append(window, cols[j+1][:half]...)
+		sortInt64(window)
+		copy(cols[j][half:], window[:half])
+		copy(cols[j+1][:half], window[half:])
+	}
+}
+
+// ColumnsortRounds is the number of communication rounds Columnsort
+// performs (two redistributions plus the boundary exchange); local
+// sorts are computation, not communication.
+const ColumnsortRounds = 3

@@ -1,0 +1,329 @@
+package sortnet
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func flatten(blocks [][]int64) []int64 {
+	var out []int64
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func isSorted(xs []int64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i-1] > xs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameMultiset(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ca := append([]int64(nil), a...)
+	cb := append([]int64(nil), b...)
+	sort.Slice(ca, func(i, j int) bool { return ca[i] < ca[j] })
+	sort.Slice(cb, func(i, j int) bool { return cb[i] < cb[j] })
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randBlocks(rng *stats.RNG, p, r int, keyRange int64) [][]int64 {
+	blocks := make([][]int64, p)
+	for i := range blocks {
+		blocks[i] = make([]int64, r)
+		for j := range blocks[i] {
+			blocks[i][j] = int64(rng.Uint64n(uint64(keyRange)))
+		}
+	}
+	return blocks
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -4, 3, 6, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestBitonicScheduleShape(t *testing.T) {
+	for _, p := range []int{2, 4, 8, 16, 64} {
+		rounds := BitonicSchedule(p)
+		if len(rounds) != BitonicDepth(p) {
+			t.Fatalf("p=%d: %d rounds, want %d", p, len(rounds), BitonicDepth(p))
+		}
+		for ri, round := range rounds {
+			// Each round must be a perfect matching.
+			seen := make([]bool, p)
+			if len(round) != p/2 {
+				t.Fatalf("p=%d round %d has %d comparators, want %d", p, ri, len(round), p/2)
+			}
+			for _, c := range round {
+				if c.A == c.B || c.A < 0 || c.B < 0 || c.A >= p || c.B >= p {
+					t.Fatalf("p=%d round %d: bad comparator %+v", p, ri, c)
+				}
+				if seen[c.A] || seen[c.B] {
+					t.Fatalf("p=%d round %d: processor reused", p, ri)
+				}
+				seen[c.A] = true
+				seen[c.B] = true
+			}
+		}
+	}
+}
+
+func TestBitonicSchedulePanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for p=6")
+		}
+	}()
+	BitonicSchedule(6)
+}
+
+func TestBitonicSortsSingleKeys(t *testing.T) {
+	rng := stats.NewRNG(8)
+	for _, p := range []int{2, 4, 8, 32, 128} {
+		blocks := randBlocks(rng, p, 1, 1000)
+		orig := flatten(blocks)
+		ApplySchedule(blocks, BitonicSchedule(p))
+		got := flatten(blocks)
+		if !isSorted(got) {
+			t.Fatalf("p=%d: not sorted: %v", p, got)
+		}
+		if !sameMultiset(orig, got) {
+			t.Fatalf("p=%d: multiset changed", p)
+		}
+	}
+}
+
+func TestBitonicSortsBlocks(t *testing.T) {
+	rng := stats.NewRNG(12)
+	for _, p := range []int{2, 8, 16} {
+		for _, r := range []int{2, 5, 16} {
+			blocks := randBlocks(rng, p, r, 500)
+			orig := flatten(blocks)
+			ApplySchedule(blocks, BitonicSchedule(p))
+			got := flatten(blocks)
+			if !isSorted(got) {
+				t.Fatalf("p=%d r=%d: not sorted", p, r)
+			}
+			if !sameMultiset(orig, got) {
+				t.Fatalf("p=%d r=%d: multiset changed", p, r)
+			}
+			// Every block must be internally sorted too.
+			for i, b := range blocks {
+				if !isSorted(b) {
+					t.Fatalf("p=%d r=%d: block %d unsorted", p, r, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBitonicProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	check := func(seed uint32, pExp, rRaw uint8) bool {
+		rng := stats.NewRNG(uint64(seed))
+		p := 1 << (uint(pExp%4) + 1) // 2..16
+		r := int(rRaw%6) + 1
+		blocks := randBlocks(rng, p, r, 64) // duplicates likely
+		orig := flatten(blocks)
+		ApplySchedule(blocks, BitonicSchedule(p))
+		got := flatten(blocks)
+		return isSorted(got) && sameMultiset(orig, got)
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeSplit(t *testing.T) {
+	lo, hi := MergeSplit([]int64{1, 4, 9}, []int64{2, 3, 10})
+	if lo[0] != 1 || lo[1] != 2 || lo[2] != 3 {
+		t.Fatalf("lo = %v", lo)
+	}
+	if hi[0] != 4 || hi[1] != 9 || hi[2] != 10 {
+		t.Fatalf("hi = %v", hi)
+	}
+}
+
+func TestMergeSplitDuplicates(t *testing.T) {
+	lo, hi := MergeSplit([]int64{5, 5}, []int64{5, 5})
+	if lo[0] != 5 || lo[1] != 5 || hi[0] != 5 || hi[1] != 5 {
+		t.Fatalf("lo=%v hi=%v", lo, hi)
+	}
+}
+
+func TestMergeSplitMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	MergeSplit([]int64{1}, []int64{1, 2})
+}
+
+func TestColumnsortValid(t *testing.T) {
+	cases := []struct {
+		r, s int
+		want bool
+	}{
+		{8, 2, true},    // 8 >= 2*(2-1)^2
+		{2, 2, true},    // 2 >= 2
+		{32, 4, true},   // 32 >= 2*9 = 18, 32 % 4 == 0
+		{18, 3, true},   // 18 >= 2*4 = 8, 18 % 3 == 0
+		{7, 2, false},   // odd
+		{10, 3, false},  // 10 % 3 != 0
+		{4, 4, false},   // 4 < 2*9 = 18
+		{100, 5, true},  // 100 >= 32, 100 % 5 == 0
+		{1, 1, true},    // trivial
+		{0, 2, false},   // empty
+		{200, 10, true}, // 200 >= 162
+	}
+	for _, c := range cases {
+		if got := ColumnsortValid(c.r, c.s); got != c.want {
+			t.Errorf("ColumnsortValid(%d, %d) = %v, want %v", c.r, c.s, got, c.want)
+		}
+	}
+}
+
+func TestTransposeDestIsPermutation(t *testing.T) {
+	r, s := 12, 3
+	seen := make(map[[2]int]bool)
+	for c := 0; c < s; c++ {
+		for i := 0; i < r; i++ {
+			dc, di := TransposeDest(r, s, c, i)
+			if dc < 0 || dc >= s || di < 0 || di >= r {
+				t.Fatalf("TransposeDest(%d,%d) = (%d,%d) out of range", c, i, dc, di)
+			}
+			key := [2]int{dc, di}
+			if seen[key] {
+				t.Fatalf("TransposeDest collision at %v", key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestUntransposeInvertsTranspose(t *testing.T) {
+	r, s := 20, 4
+	for c := 0; c < s; c++ {
+		for i := 0; i < r; i++ {
+			dc, di := TransposeDest(r, s, c, i)
+			bc, bi := UntransposeDest(r, s, dc, di)
+			if bc != c || bi != i {
+				t.Fatalf("untranspose(transpose(%d,%d)) = (%d,%d)", c, i, bc, bi)
+			}
+		}
+	}
+}
+
+func TestColumnsortSorts(t *testing.T) {
+	rng := stats.NewRNG(33)
+	cases := []struct{ r, s int }{
+		{2, 2}, {8, 2}, {18, 3}, {32, 4}, {100, 5}, {7, 1},
+	}
+	for _, c := range cases {
+		cols := randBlocks(rng, c.s, c.r, 300)
+		orig := flatten(cols)
+		ColumnsortSequential(cols)
+		// Column-major order: flatten by columns.
+		got := flatten(cols)
+		if !isSorted(got) {
+			t.Fatalf("r=%d s=%d: not column-major sorted", c.r, c.s)
+		}
+		if !sameMultiset(orig, got) {
+			t.Fatalf("r=%d s=%d: multiset changed", c.r, c.s)
+		}
+	}
+}
+
+func TestColumnsortProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	check := func(seed uint32, sRaw, mult uint8) bool {
+		rng := stats.NewRNG(uint64(seed))
+		s := int(sRaw%4) + 2 // 2..5
+		base := 2 * (s - 1) * (s - 1)
+		// Round r up to a multiple of 2s at least base.
+		r := ((base + 2*s - 1) / (2 * s)) * (2 * s)
+		r += int(mult%3) * 2 * s
+		cols := randBlocks(rng, s, r, 50)
+		orig := flatten(cols)
+		ColumnsortSequential(cols)
+		got := flatten(cols)
+		return isSorted(got) && sameMultiset(orig, got)
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnsortPanicsWhenInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid dimensions")
+		}
+	}()
+	ColumnsortSequential([][]int64{{1, 2, 3}, {4, 5, 6}}) // r=3 odd
+}
+
+func TestColumnsortEmpty(t *testing.T) {
+	ColumnsortSequential(nil) // must not panic
+}
+
+func TestSeqSortCost(t *testing.T) {
+	if c := SeqSortCost(0, 100); c != 0 {
+		t.Fatalf("cost(0) = %d", c)
+	}
+	if c := SeqSortCost(1, 100); c != 1 {
+		t.Fatalf("cost(1) = %d", c)
+	}
+	// For r = p^eps (large r relative to key range), cost is O(r):
+	// r=256 keys in [0,255]: 256 key values need 8 bits, radix base
+	// 2^8 covers them in one pass, so cost = 256*1.
+	if c := SeqSortCost(256, 255); c != 256 {
+		t.Fatalf("cost(256, 255) = %d, want 256", c)
+	}
+	// Small r, huge key range: comparison sort wins.
+	if c := SeqSortCost(4, 1<<30); c != 4*2 {
+		t.Fatalf("cost(4, 2^30) = %d, want 8", c)
+	}
+	// Cost is monotone in r for fixed range.
+	prev := int64(0)
+	for r := 1; r <= 1024; r *= 2 {
+		c := SeqSortCost(r, 1024)
+		if c < prev {
+			t.Fatalf("cost not monotone at r=%d: %d < %d", r, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestBitonicDepthValues(t *testing.T) {
+	want := map[int]int{2: 1, 4: 3, 8: 6, 16: 10, 1024: 55}
+	for p, d := range want {
+		if got := BitonicDepth(p); got != d {
+			t.Errorf("BitonicDepth(%d) = %d, want %d", p, got, d)
+		}
+	}
+}
