@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench experiments examples cover clean
+.PHONY: all test race bench bench-smoke bench-report experiments examples cover clean
 
 all: test
 
@@ -15,6 +15,15 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or crash, without CI-length timings.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Regenerate the checked-in BENCH_logp.json (see EXPERIMENTS.md).
+bench-report:
+	$(GO) run ./cmd/bsplogp -bench -quick -benchout BENCH_logp.json
 
 experiments:
 	$(GO) run ./cmd/bsplogp -all

@@ -32,6 +32,78 @@ func benchExperiment(b *testing.B, id string) {
 	}
 }
 
+// --- Engine microbenchmarks ----------------------------------------------
+
+// benchEngine measures the LogP discrete-event core itself on one
+// machine reused across iterations (the scheduler heap, slot bitsets,
+// and scratch buffers amortize, so allocs/op isolates the per-run
+// cost). It reports simulated events per second of wall time.
+func benchEngine(b *testing.B, lp logp.Params, prog logp.Program, opts ...logp.Option) {
+	b.Helper()
+	m := logp.NewMachine(lp, opts...)
+	ev0 := logp.SimEventCount()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(float64(logp.SimEventCount()-ev0)/el, "events/sec")
+	}
+}
+
+// BenchmarkEngineRing is the stall-free pipelined ring: pure scheduler
+// and event-heap traffic, one message in flight per processor pair.
+func BenchmarkEngineRing(b *testing.B) {
+	lp := logp.Params{P: 64, L: 32, O: 2, G: 4}
+	benchEngine(b, lp, func(p logp.Proc) {
+		n := p.P()
+		for k := 0; k < 16; k++ {
+			p.Send((p.ID()+1)%n, 0, int64(k), 0)
+		}
+		for k := 0; k < 16; k++ {
+			p.Recv()
+		}
+	})
+}
+
+// BenchmarkEngineHotspot drives the Stalling Rule: every processor
+// floods the last one, exercising pending queues, accept passes, and
+// the slot window under contention.
+func BenchmarkEngineHotspot(b *testing.B) {
+	lp := logp.Params{P: 64, L: 8, O: 1, G: 4}
+	benchEngine(b, lp, func(p logp.Proc) {
+		hot := p.P() - 1
+		if p.ID() != hot {
+			for k := 0; k < 4; k++ {
+				p.Send(hot, 0, int64(k), 0)
+			}
+			return
+		}
+		for i := 0; i < (p.P()-1)*4; i++ {
+			p.Recv()
+		}
+	}, logp.WithDeliveryPolicy(logp.DeliverMinLatency))
+}
+
+// BenchmarkEngineRandomTraffic stresses the DeliverRandom reservoir
+// scan over the slot bitset together with random acceptance order.
+func BenchmarkEngineRandomTraffic(b *testing.B) {
+	lp := logp.Params{P: 64, L: 32, O: 2, G: 4}
+	benchEngine(b, lp, func(p logp.Proc) {
+		n := p.P()
+		for k := 1; k <= 8; k++ {
+			p.Send((p.ID()+k*7)%n, 0, int64(k), 0)
+		}
+		for k := 1; k <= 8; k++ {
+			p.Recv()
+		}
+	}, logp.WithDeliveryPolicy(logp.DeliverRandom), logp.WithAcceptOrder(logp.AcceptRandom), logp.WithSeed(3))
+}
+
 func BenchmarkE1Table1(b *testing.B)           { benchExperiment(b, "E1") }
 func BenchmarkE2LogPOnBSP(b *testing.B)        { benchExperiment(b, "E2") }
 func BenchmarkE3BSPOnLogPDet(b *testing.B)     { benchExperiment(b, "E3") }

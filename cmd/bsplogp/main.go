@@ -8,9 +8,11 @@
 //	bsplogp -list
 //	bsplogp -experiment E3 [-quick] [-seed 1]
 //	bsplogp -all [-quick]
+//	bsplogp -bench [-experiment E3] [-quick] [-benchout BENCH_logp.json]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -29,13 +31,18 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("bsplogp", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		id    = fs.String("experiment", "", "experiment id to run (E1..E13, A1..A6); empty with -all runs everything")
-		all   = fs.Bool("all", false, "run every experiment")
-		list  = fs.Bool("list", false, "list experiments and exit")
-		quick = fs.Bool("quick", false, "shrink processor counts and trials")
-		seed  = fs.Uint64("seed", 1, "random seed")
+		id       = fs.String("experiment", "", "experiment id to run (E1..E13, A1..A6); empty with -all runs everything")
+		all      = fs.Bool("all", false, "run every experiment")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		quick    = fs.Bool("quick", false, "shrink processor counts and trials")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		doBench  = fs.Bool("bench", false, "benchmark experiments (all, or the one given by -experiment) and write a JSON report")
+		benchOut = fs.String("benchout", "BENCH_logp.json", "path of the JSON report written by -bench")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
 		return 2
 	}
 
@@ -47,6 +54,26 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 
 	cfg := bench.Config{Quick: *quick, Seed: *seed}
+
+	if *doBench {
+		var ids []string
+		if *id != "" {
+			ids = []string{*id}
+		}
+		rep, err := bench.RunBench(cfg, ids)
+		if err != nil {
+			fmt.Fprintf(errOut, "bsplogp: %v; use -list\n", err)
+			return 2
+		}
+		fmt.Fprintln(out, rep.Render())
+		if err := rep.WriteJSON(*benchOut); err != nil {
+			fmt.Fprintf(errOut, "bsplogp: writing report: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "report written to %s\n", *benchOut)
+		return 0
+	}
+
 	runOne := func(e bench.Experiment) {
 		start := time.Now()
 		tab := e.Run(cfg)

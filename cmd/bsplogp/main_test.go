@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -50,5 +53,61 @@ func TestCLIBadFlag(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-nope"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestCLIBenchWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_logp.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-bench", "-quick", "-experiment", "E6", "-benchout", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep struct {
+		Quick   bool `json:"quick"`
+		Results []struct {
+			ID           string  `json:"id"`
+			WallNanos    int64   `json:"wallNanos"`
+			SimEvents    int64   `json:"simEvents"`
+			EventsPerSec float64 `json:"eventsPerSec"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if !rep.Quick || len(rep.Results) != 1 || rep.Results[0].ID != "E6" {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	r := rep.Results[0]
+	if r.WallNanos <= 0 || r.SimEvents <= 0 || r.EventsPerSec <= 0 {
+		t.Fatalf("benchmark measurements not populated: %+v", r)
+	}
+	if !strings.Contains(out.String(), "events/sec") {
+		t.Fatalf("summary table missing from output:\n%s", out.String())
+	}
+}
+
+func TestCLIBenchUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bench", "-experiment", "E99"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestCLIHelpExitsZero(t *testing.T) {
+	// -h is a request for usage, not a parse error: exit 0, usage on
+	// the flag set's output.
+	for _, arg := range []string{"-h", "--help"} {
+		var out, errOut bytes.Buffer
+		if code := run([]string{arg}, &out, &errOut); code != 0 {
+			t.Fatalf("%s: exit %d, want 0", arg, code)
+		}
+		if !strings.Contains(errOut.String(), "-experiment") {
+			t.Fatalf("%s: usage text missing from output:\n%s", arg, errOut.String())
+		}
 	}
 }

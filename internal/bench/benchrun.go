@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/logp"
+)
+
+// BenchResult records the benchmark measurements of one experiment:
+// wall time, simulation throughput (LogP events committed per second
+// of wall time, sampled from logp.SimEventCount so machines built deep
+// inside the cross-simulators are included), and heap traffic.
+type BenchResult struct {
+	ID           string  `json:"id"`
+	Name         string  `json:"name"`
+	WallNanos    int64   `json:"wallNanos"`
+	SimEvents    int64   `json:"simEvents"`
+	EventsPerSec float64 `json:"eventsPerSec"`
+	Allocs       uint64  `json:"allocs"`
+	AllocBytes   uint64  `json:"allocBytes"`
+	Rows         int     `json:"rows"`
+}
+
+// BenchReport is the top-level schema of BENCH_logp.json. Reports from
+// different checkouts or machines are compared result by result, keyed
+// on experiment ID; wallNanos and eventsPerSec carry the trajectory,
+// allocs/allocBytes explain it.
+type BenchReport struct {
+	GoVersion      string        `json:"goVersion"`
+	GOOS           string        `json:"goos"`
+	GOARCH         string        `json:"goarch"`
+	Quick          bool          `json:"quick"`
+	Seed           uint64        `json:"seed"`
+	StartedAt      string        `json:"startedAt"`
+	TotalWallNanos int64         `json:"totalWallNanos"`
+	Results        []BenchResult `json:"results"`
+}
+
+// RunBench benchmarks the given experiments (all of them when ids is
+// empty) under cfg and returns the report. Each experiment runs once;
+// a GC fence before each run keeps the allocation deltas attributable.
+func RunBench(cfg Config, ids []string) (*BenchReport, error) {
+	var exps []Experiment
+	if len(ids) == 0 {
+		exps = All()
+	} else {
+		for _, id := range ids {
+			e, ok := Lookup(id)
+			if !ok {
+				return nil, fmt.Errorf("bench: unknown experiment %q", id)
+			}
+			exps = append(exps, e)
+		}
+	}
+	rep := &BenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     cfg.Quick,
+		Seed:      cfg.Seed,
+		StartedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	var ms0, ms1 runtime.MemStats
+	for _, e := range exps {
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		ev0 := logp.SimEventCount()
+		start := time.Now()
+		tab := e.Run(cfg)
+		wall := time.Since(start)
+		ev1 := logp.SimEventCount()
+		runtime.ReadMemStats(&ms1)
+
+		r := BenchResult{
+			ID:         e.ID,
+			Name:       e.Name,
+			WallNanos:  wall.Nanoseconds(),
+			SimEvents:  ev1 - ev0,
+			Allocs:     ms1.Mallocs - ms0.Mallocs,
+			AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
+			Rows:       len(tab.Rows),
+		}
+		if wall > 0 {
+			r.EventsPerSec = float64(r.SimEvents) / wall.Seconds()
+		}
+		rep.TotalWallNanos += r.WallNanos
+		rep.Results = append(rep.Results, r)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path, pretty-printed.
+func (r *BenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render summarizes the report as an aligned table for the CLI.
+func (r *BenchReport) Render() string {
+	t := &Table{
+		ID:      "BENCH",
+		Title:   fmt.Sprintf("benchmark (%s %s/%s, quick=%v, seed=%d)", r.GoVersion, r.GOOS, r.GOARCH, r.Quick, r.Seed),
+		Columns: []string{"id", "wall-ms", "sim-events", "events/sec", "allocs", "alloc-MB"},
+	}
+	for _, b := range r.Results {
+		t.AddRow(b.ID,
+			float64(b.WallNanos)/1e6,
+			b.SimEvents,
+			b.EventsPerSec,
+			b.Allocs,
+			float64(b.AllocBytes)/(1<<20))
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("total wall time %v", time.Duration(r.TotalWallNanos).Round(time.Millisecond)))
+	return t.Render()
+}

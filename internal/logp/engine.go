@@ -1,11 +1,11 @@
 package logp
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/stats"
 )
@@ -75,7 +75,17 @@ func WithDeliveryPolicy(p DeliveryPolicy) Option {
 	return func(m *Machine) { m.policy = p }
 }
 
-// WithSeed seeds the machine's random stream (used by DeliverRandom).
+// WithSeed seeds the machine's random stream (used by DeliverRandom
+// and AcceptRandom).
+//
+// Determinism contract: the i-th call to Run (counting from 0) draws
+// its randomness from a stream derived deterministically from
+// (seed, i). Two machines built with the same seed therefore replay
+// identical executions run for run, and any single run is exactly
+// reproducible, while consecutive Run calls on one machine observe
+// fresh admissible executions — repeated trials under DeliverRandom
+// or AcceptRandom have real variance. Run 0 uses the seed unchanged,
+// so recorded single-run results stay valid across this contract.
 func WithSeed(seed uint64) Option {
 	return func(m *Machine) { m.seed = seed }
 }
@@ -140,17 +150,56 @@ type Machine struct {
 	events eventHeap
 	seq    int64
 
-	pendingQ  [][]pendingSub       // per destination, FIFO by (subAt, src)
-	inTransit []int64              // per destination
-	occupied  []map[int64]struct{} // per destination: reserved delivery instants
+	// ready is a binary min-heap of runnable processors keyed by
+	// (clock, id); it replaces the per-step O(P) scan of the first
+	// engine version. A processor is in the heap exactly while its
+	// state is stateReady, pushed at the await transition and popped
+	// by the scheduler loop just before exec.
+	ready []*proc
+
+	pendingQ  [][]pendingSub // per destination, FIFO by (subAt, src)
+	inTransit []int64        // per destination
+
+	// Reserved delivery instants, one ring-buffer bitset per
+	// destination instead of the first version's map[int64]struct{}.
+	// Instant d occupies bit (d mod window) of destination dst's
+	// slotWords words at slotBits[dst*slotWords:]. All live
+	// reservations for a destination lie within a span of at most L
+	// instants (they sit in (a, a+L] for the latest acceptance time a,
+	// and the delivery event at each instant clears its bit), so a
+	// window of L+1 instants can never alias two live reservations.
+	slotBits  []uint64
+	slotWords int
+	window    int64
+
+	// Per-instant scratch, reused across processInstant calls so the
+	// hot path does not allocate.
+	dirtyFlag []bool
+	dirtyList []int
+	wakeSend  []*proc
+	wakeRecv  []*proc
 
 	lastDelivery int64
 	maxBuf       int
 	totalMsgs    int64
 	stallEvents  int64
+	simEvents    int64 // committed medium events + executed processor ops
 
-	stopc   chan struct{}
 	procErr error
+
+	runs uint64 // completed Run calls, mixed into the per-run reseed
+}
+
+// shutdown unwinds every still-live program goroutine at the end of a
+// Run. Each such goroutine is parked in call's response receive (the
+// engine answered or consumed every request before returning), so a
+// single poison response per processor releases it.
+func (m *Machine) shutdown() {
+	for _, p := range m.procs {
+		if p != nil && p.state != stateDone {
+			p.res <- response{poison: true}
+		}
+	}
 }
 
 type pendingSub struct {
@@ -161,10 +210,12 @@ type pendingSub struct {
 
 // NewMachine builds a machine with the given parameters, which must
 // Validate; invalid parameters panic, since they indicate a programming
-// error in the experiment setup rather than a runtime condition.
+// error in the experiment setup rather than a runtime condition. The
+// panic message is exactly the Params.Validate error for the same
+// parameters, prefixed "logp: NewMachine:".
 func NewMachine(params Params, opts ...Option) *Machine {
 	if err := params.Validate(); err != nil {
-		panic(err)
+		panic("logp: NewMachine: " + strings.TrimPrefix(err.Error(), "logp: "))
 	}
 	m := &Machine{params: params, policy: DeliverMaxLatency, seed: 1}
 	for _, o := range opts {
@@ -180,33 +231,34 @@ func (m *Machine) Params() Params { return m.params }
 // down, unwinding them cleanly.
 var errStopped = errors.New("logp: machine stopped")
 
+// runner hosts one program goroutine. Its terminal sends need no
+// shutdown select: program code (including this deferred epilogue)
+// only runs while the engine is parked in await(p), which consumes the
+// send. A goroutine unwound by a poison response returns through the
+// errStopped arm without sending anything.
 func runner(p *proc, prog Program) {
 	defer func() {
 		r := recover()
 		if r == nil {
-			select {
-			case p.req <- request{kind: opDone}:
-			case <-p.m.stopc:
-			}
+			p.req <- request{kind: opDone}
 			return
 		}
 		if err, ok := r.(error); ok && errors.Is(err, errStopped) {
 			return
 		}
-		select {
-		case p.req <- request{kind: opPanic, err: fmt.Errorf("logp: processor %d panicked: %v", p.id, r)}:
-		case <-p.m.stopc:
-		}
+		p.req <- request{kind: opPanic, err: fmt.Errorf("logp: processor %d panicked: %v", p.id, r)}
 	}()
 	prog(p)
 }
 
 // Run executes prog on every processor and returns the measured
-// Result. Run may be called repeatedly; each call is an independent
-// execution re-seeded from the machine seed.
+// Result. Run may be called repeatedly; the i-th call re-seeds from
+// (seed, i) per the WithSeed determinism contract, so repeated trials
+// under DeliverRandom or AcceptRandom sample distinct admissible
+// executions while remaining reproducible from the machine seed.
 func (m *Machine) Run(prog Program) (Result, error) {
 	m.reset()
-	defer close(m.stopc)
+	defer m.shutdown()
 
 	// Start processors one at a time so that the code before each
 	// program's first engine call is serialized like everything else.
@@ -223,19 +275,15 @@ func (m *Machine) Run(prog Program) (Result, error) {
 	}
 
 	for {
-		var next *proc
 		horizon := int64(math.MaxInt64)
-		for _, p := range m.procs {
-			if p.state == stateReady && p.clock < horizon {
-				horizon = p.clock
-				next = p
-			}
+		if len(m.ready) > 0 {
+			horizon = m.ready[0].clock
 		}
 		if len(m.events) > 0 && m.events[0].time <= horizon {
 			m.processInstant(m.events[0].time)
 			continue
 		}
-		if next == nil {
+		if len(m.ready) == 0 {
 			if m.allDone() {
 				break
 			}
@@ -246,7 +294,7 @@ func (m *Machine) Run(prog Program) (Result, error) {
 			}
 			return Result{}, m.deadlockError()
 		}
-		m.exec(next)
+		m.exec(m.popReady())
 	}
 
 	// Drain in-flight deliveries so LastDelivery and buffer-depth
@@ -254,6 +302,7 @@ func (m *Machine) Run(prog Program) (Result, error) {
 	for len(m.events) > 0 {
 		m.processInstant(m.events[0].time)
 	}
+	addSimEvents(m.simEvents)
 
 	res := Result{
 		LastDelivery:   m.lastDelivery,
@@ -280,23 +329,67 @@ func (m *Machine) Run(prog Program) (Result, error) {
 
 func (m *Machine) reset() {
 	p := m.params.P
-	m.rng = stats.NewRNG(m.seed)
+	// Mix the run counter into the seed (golden-ratio stride, as in
+	// SplitMix64 seeding) so run i is a deterministic function of
+	// (seed, i) and run 0 keeps the plain seed.
+	m.rng = stats.NewRNG(m.seed + m.runs*0x9e3779b97f4a7c15)
+	m.runs++
 	m.procs = make([]*proc, p)
 	m.events = m.events[:0]
 	m.seq = 0
+	m.ready = m.ready[:0]
 	m.pendingQ = make([][]pendingSub, p)
 	m.inTransit = make([]int64, p)
-	m.occupied = make([]map[int64]struct{}, p)
-	for i := range m.occupied {
-		m.occupied[i] = make(map[int64]struct{})
+
+	// Ring bitsets: one window of L+1 instants per destination, laid
+	// out as a single flat word slice reused across runs.
+	m.window = m.params.L + 1
+	m.slotWords = int((m.window + 63) / 64)
+	if need := p * m.slotWords; cap(m.slotBits) >= need {
+		m.slotBits = m.slotBits[:need]
+		for i := range m.slotBits {
+			m.slotBits[i] = 0
+		}
+	} else {
+		m.slotBits = make([]uint64, need)
 	}
+	if cap(m.dirtyFlag) >= p {
+		m.dirtyFlag = m.dirtyFlag[:p]
+		for i := range m.dirtyFlag {
+			m.dirtyFlag[i] = false
+		}
+	} else {
+		m.dirtyFlag = make([]bool, p)
+	}
+	m.dirtyList = m.dirtyList[:0]
+	m.wakeSend = m.wakeSend[:0]
+	m.wakeRecv = m.wakeRecv[:0]
+
 	m.lastDelivery = 0
 	m.maxBuf = 0
 	m.totalMsgs = 0
 	m.stallEvents = 0
-	m.stopc = make(chan struct{})
+	m.simEvents = 0
 	m.procErr = nil
 	m.msgSeq = 0
+}
+
+// slotTaken reports whether delivery instant d is reserved at dst.
+func (m *Machine) slotTaken(dst int, d int64) bool {
+	idx := int(d % m.window)
+	return m.slotBits[dst*m.slotWords+idx>>6]&(1<<uint(idx&63)) != 0
+}
+
+// reserveSlot marks delivery instant d as reserved at dst.
+func (m *Machine) reserveSlot(dst int, d int64) {
+	idx := int(d % m.window)
+	m.slotBits[dst*m.slotWords+idx>>6] |= 1 << uint(idx&63)
+}
+
+// releaseSlot clears the reservation for instant d at dst.
+func (m *Machine) releaseSlot(dst int, d int64) {
+	idx := int(d % m.window)
+	m.slotBits[dst*m.slotWords+idx>>6] &^= 1 << uint(idx&63)
 }
 
 // emit forwards ev to the installed event sink, if any.
@@ -329,6 +422,8 @@ func (m *Machine) deadlockError() error {
 }
 
 // await reads the next request from p's goroutine and records it.
+// This is the single transition into stateReady, so it is also the
+// single point where processors enter the ready heap.
 func (m *Machine) await(p *proc) {
 	p.pending = <-p.req
 	switch p.pending.kind {
@@ -341,7 +436,64 @@ func (m *Machine) await(p *proc) {
 		p.state = stateDone
 	default:
 		p.state = stateReady
+		m.pushReady(p)
 	}
+}
+
+// procBefore orders the ready heap by (clock, id); the id tie-break
+// reproduces the old linear scan, which kept the lowest-id processor
+// among clock ties.
+func procBefore(a, b *proc) bool {
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.id < b.id
+}
+
+// pushReady inserts p into the ready heap. A processor's clock only
+// advances while it is out of the heap (inside exec or blocked), so
+// heap order never goes stale.
+func (m *Machine) pushReady(p *proc) {
+	h := append(m.ready, p)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !procBefore(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	m.ready = h
+}
+
+// popReady removes and returns the ready processor with the minimum
+// (clock, id).
+func (m *Machine) popReady() *proc {
+	h := m.ready
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && procBefore(h[l], h[min]) {
+			min = l
+		}
+		if r < n && procBefore(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	m.ready = h
+	return top
 }
 
 // resume answers p's pending request and reads the next one.
@@ -354,6 +506,7 @@ func (m *Machine) resume(p *proc, r response) {
 // with the minimum local clock, which guarantees that every medium
 // event at or before p.clock has been committed.
 func (m *Machine) exec(p *proc) {
+	m.simEvents++
 	req := p.pending
 	switch req.kind {
 	case opCompute:
@@ -415,16 +568,6 @@ func (m *Machine) exec(p *proc) {
 	}
 }
 
-func (p *proc) popBuf() arrived {
-	head := p.buf[0]
-	p.buf[0] = arrived{}
-	p.buf = p.buf[1:]
-	if len(p.buf) == 0 {
-		p.buf = nil
-	}
-	return head
-}
-
 // completeRecv acquires the oldest buffered message for p and resumes
 // its goroutine.
 func (m *Machine) completeRecv(p *proc) {
@@ -452,17 +595,18 @@ func (m *Machine) completeRecv(p *proc) {
 // id order.
 func (m *Machine) processInstant(t int64) {
 	capacity := m.params.Capacity()
-	dirty := make(map[int]struct{})
-	var wakeRecv []*proc
-	var wakeSend []*proc
+	m.dirtyList = m.dirtyList[:0]
+	m.wakeRecv = m.wakeRecv[:0]
+	m.wakeSend = m.wakeSend[:0]
 
 	for len(m.events) > 0 && m.events[0].time == t {
-		ev := heap.Pop(&m.events).(event)
+		ev := m.events.popMin()
+		m.simEvents++
 		dst := ev.msg.Dst
 		switch ev.kind {
 		case evDelivery:
 			m.inTransit[dst]--
-			delete(m.occupied[dst], t)
+			m.releaseSlot(dst, t)
 			m.emit(Event{Time: t, Kind: EvDeliver, Seq: ev.msgID, Msg: ev.msg})
 			p := m.procs[dst]
 			p.buf = append(p.buf, arrived{msg: ev.msg, at: t, msgID: ev.msgID})
@@ -470,9 +614,12 @@ func (m *Machine) processInstant(t int64) {
 				m.maxBuf = len(p.buf)
 			}
 			m.lastDelivery = t
-			dirty[dst] = struct{}{}
+			if !m.dirtyFlag[dst] {
+				m.dirtyFlag[dst] = true
+				m.dirtyList = append(m.dirtyList, dst)
+			}
 			if p.state == stateWaitMsg {
-				wakeRecv = append(wakeRecv, p)
+				m.wakeRecv = append(m.wakeRecv, p)
 			}
 		case evSubmission:
 			q := m.pendingQ[dst]
@@ -486,17 +633,16 @@ func (m *Machine) processInstant(t int64) {
 			copy(q[i+1:], q[i:])
 			q[i] = sub
 			m.pendingQ[dst] = q
-			dirty[dst] = struct{}{}
+			if !m.dirtyFlag[dst] {
+				m.dirtyFlag[dst] = true
+				m.dirtyList = append(m.dirtyList, dst)
+			}
 		}
 	}
 
-	dsts := make([]int, 0, len(dirty))
-	for d := range dirty {
-		dsts = append(dsts, d)
-	}
-	sort.Ints(dsts)
-
-	for _, dst := range dsts {
+	sort.Ints(m.dirtyList)
+	for _, dst := range m.dirtyList {
+		m.dirtyFlag[dst] = false
 		for m.inTransit[dst] < capacity && len(m.pendingQ[dst]) > 0 {
 			q := m.pendingQ[dst]
 			idx := 0
@@ -515,33 +661,45 @@ func (m *Machine) processInstant(t int64) {
 				m.stallEvents++
 			}
 			d := m.chooseSlot(dst, t)
-			m.occupied[dst][d] = struct{}{}
+			m.reserveSlot(dst, d)
 			m.inTransit[dst]++
 			if m.inTransit[dst] > capacity {
 				panic(fmt.Sprintf("logp: capacity constraint violated at destination %d (bug)", dst))
 			}
 			m.emit(Event{Time: t, Kind: EvAccept, Seq: sub.msgID, Msg: sub.msg})
 			m.push(event{time: d, kind: evDelivery, msg: sub.msg, msgID: sub.msgID})
-			wakeSend = append(wakeSend, sender)
-		}
-		if len(m.pendingQ[dst]) == 0 {
-			m.pendingQ[dst] = nil
+			m.wakeSend = append(m.wakeSend, sender)
 		}
 	}
 
-	sort.Slice(wakeSend, func(i, j int) bool { return wakeSend[i].id < wakeSend[j].id })
-	for _, p := range wakeSend {
+	sortProcsByID(m.wakeSend)
+	for _, p := range m.wakeSend {
 		p.clock = t // acceptance instant; stall cycles already accounted
 		p.sent++
 		p.state = stateReady
 		m.resume(p, response{})
 	}
 
-	sort.Slice(wakeRecv, func(i, j int) bool { return wakeRecv[i].id < wakeRecv[j].id })
-	for _, p := range wakeRecv {
+	sortProcsByID(m.wakeRecv)
+	for _, p := range m.wakeRecv {
 		if p.state == stateWaitMsg && len(p.buf) > 0 {
 			m.completeRecv(p)
 		}
+	}
+}
+
+// sortProcsByID is an allocation-free insertion sort for the short
+// per-instant wake lists (sort.Slice would allocate its closure on the
+// hot path).
+func sortProcsByID(ps []*proc) {
+	for i := 1; i < len(ps); i++ {
+		p := ps[i]
+		j := i - 1
+		for j >= 0 && ps[j].id > p.id {
+			ps[j+1] = ps[j]
+			j--
+		}
+		ps[j+1] = p
 	}
 }
 
@@ -555,20 +713,23 @@ func less(a, b pendingSub) bool {
 // chooseSlot picks a free delivery instant in (a, a+L] for destination
 // dst under the configured policy. A free instant always exists because
 // the capacity constraint keeps at most Capacity()-1 other messages in
-// transit and Capacity() <= L.
+// transit and Capacity() <= L. The probes hit the destination's ring
+// bitset, so no allocation or hashing happens on this path; the
+// DeliverRandom reservoir scan visits free instants in the same order
+// as the original map-based implementation, preserving the RNG stream
+// and hence recorded executions.
 func (m *Machine) chooseSlot(dst int, a int64) int64 {
-	occ := m.occupied[dst]
 	L := m.params.L
 	switch m.policy {
 	case DeliverMinLatency:
 		for d := a + 1; d <= a+L; d++ {
-			if _, taken := occ[d]; !taken {
+			if !m.slotTaken(dst, d) {
 				return d
 			}
 		}
 	case DeliverMaxLatency:
 		for d := a + L; d > a; d-- {
-			if _, taken := occ[d]; !taken {
+			if !m.slotTaken(dst, d) {
 				return d
 			}
 		}
@@ -577,7 +738,7 @@ func (m *Machine) chooseSlot(dst int, a int64) int64 {
 		var chosen int64 = -1
 		free := 0
 		for d := a + 1; d <= a+L; d++ {
-			if _, taken := occ[d]; taken {
+			if m.slotTaken(dst, d) {
 				continue
 			}
 			free++
@@ -608,10 +769,14 @@ type event struct {
 	msgID int64
 }
 
+// eventHeap is a binary min-heap of medium events ordered by
+// (time, kind, seq) — deliveries before submissions within an instant,
+// then commit order. It is hand-rolled rather than container/heap so
+// pushes and pops move concrete event values without boxing them into
+// interfaces (the old heap.Pop allocated on every committed event).
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) before(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
@@ -620,18 +785,50 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) push(ev event) {
+	a := append(*h, ev)
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.before(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+	*h = a
+}
+
+func (h *eventHeap) popMin() event {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = event{}
+	a = a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && a.before(l, min) {
+			min = l
+		}
+		if r < n && a.before(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		a[i], a[min] = a[min], a[i]
+		i = min
+	}
+	*h = a
+	return top
 }
 
 func (m *Machine) push(ev event) {
 	ev.seq = m.seq
 	m.seq++
-	heap.Push(&m.events, ev)
+	m.events.push(ev)
 }

@@ -1,6 +1,7 @@
 package logp
 
 import (
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -350,19 +351,79 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 			p.Recv()
 		}
 	}
+	// The WithSeed contract: run i is a deterministic function of
+	// (seed, i), so two machines with the same seed must agree run for
+	// run — including later runs, whose streams are re-derived.
 	for _, pol := range []DeliveryPolicy{DeliverMaxLatency, DeliverMinLatency, DeliverRandom} {
-		m := NewMachine(params, WithDeliveryPolicy(pol), WithSeed(99))
-		a, err := m.Run(prog)
+		m1 := NewMachine(params, WithDeliveryPolicy(pol), WithSeed(99))
+		m2 := NewMachine(params, WithDeliveryPolicy(pol), WithSeed(99))
+		for i := 0; i < 3; i++ {
+			a, err := m1.Run(prog)
+			if err != nil {
+				t.Fatalf("%v run %d: %v", pol, i, err)
+			}
+			b, err := m2.Run(prog)
+			if err != nil {
+				t.Fatalf("%v run %d: %v", pol, i, err)
+			}
+			if a.Time != b.Time || a.StallCycles != b.StallCycles || a.LastDelivery != b.LastDelivery {
+				t.Fatalf("%v run %d: same-seed machines diverged %+v vs %+v", pol, i, a, b)
+			}
+		}
+	}
+}
+
+func TestConsecutiveRandomRunsDiffer(t *testing.T) {
+	// Repeated Run calls on one machine must sample fresh admissible
+	// executions: under DeliverRandom the delivery instant of a single
+	// message varies within (submit, submit+L], so across several runs
+	// the receiver's completion time must not be constant. (With the
+	// old fixed reseed every trial replayed the identical execution.)
+	params := Params{P: 2, L: 20, O: 1, G: 2}
+	m := NewMachine(params, WithDeliveryPolicy(DeliverRandom), WithSeed(42))
+	prog := func(p Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 0, 0, 0)
+		} else {
+			p.Recv()
+		}
+	}
+	times := map[int64]bool{}
+	for i := 0; i < 16; i++ {
+		res, err := m.Run(prog)
 		if err != nil {
-			t.Fatalf("%v: %v", pol, err)
+			t.Fatal(err)
 		}
-		b, err := m.Run(prog)
-		if err != nil {
-			t.Fatalf("%v: %v", pol, err)
+		times[res.Time] = true
+	}
+	if len(times) < 2 {
+		t.Fatalf("16 DeliverRandom trials all completed at the same time %v; runs are not independent", times)
+	}
+}
+
+func TestFirstRunMatchesFreshMachine(t *testing.T) {
+	// Run 0 uses the seed unchanged, so a machine's first run equals a
+	// fresh same-seed machine's first run (recorded goldens stay valid).
+	params := Params{P: 4, L: 16, O: 1, G: 2}
+	prog := func(p Proc) {
+		n := p.P()
+		for d := 1; d < n; d++ {
+			p.Send((p.ID()+d)%n, 0, 0, 0)
 		}
-		if a.Time != b.Time || a.StallCycles != b.StallCycles || a.LastDelivery != b.LastDelivery {
-			t.Fatalf("%v: nondeterministic results %+v vs %+v", pol, a, b)
+		for d := 1; d < n; d++ {
+			p.Recv()
 		}
+	}
+	a, err := NewMachine(params, WithDeliveryPolicy(DeliverRandom), WithSeed(7)).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMachine(params, WithDeliveryPolicy(DeliverRandom), WithSeed(7)).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Time != b.Time || a.LastDelivery != b.LastDelivery {
+		t.Fatalf("first runs differ: %+v vs %+v", a, b)
 	}
 }
 
@@ -487,11 +548,60 @@ func TestNegativeComputePanics(t *testing.T) {
 
 func TestNewMachinePanicsOnInvalidParams(t *testing.T) {
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("NewMachine with invalid params did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value is %T, want a string message", r)
+		}
+		if !strings.HasPrefix(msg, "logp: NewMachine: ") {
+			t.Fatalf("panic message %q lacks the logp: NewMachine: prefix", msg)
 		}
 	}()
 	NewMachine(Params{P: 0, L: 1, O: 1, G: 1})
+}
+
+// TestNewMachineValidateParity checks the unified constructor path:
+// NewMachine panics exactly when Params.Validate errors, and the panic
+// message carries the Validate diagnosis.
+func TestNewMachineValidateParity(t *testing.T) {
+	cases := []Params{
+		{P: 1, L: 2, O: 1, G: 2},
+		{P: 16, L: 32, O: 2, G: 4},
+		{P: 2, L: 8, O: 8, G: 8},
+		{P: 0, L: 8, O: 1, G: 2},
+		{P: 2, L: 8, O: 0, G: 2},
+		{P: 2, L: 8, O: 1, G: 1},
+		{P: 2, L: 8, O: 4, G: 3},
+		{P: 2, L: 4, O: 1, G: 8},
+		{P: -3, L: 0, O: 0, G: 0},
+	}
+	for _, p := range cases {
+		p := p
+		verr := p.Validate()
+		panicked, msg := func() (got bool, msg string) {
+			defer func() {
+				if r := recover(); r != nil {
+					got = true
+					msg = fmt.Sprint(r)
+				}
+			}()
+			NewMachine(p)
+			return
+		}()
+		if panicked != (verr != nil) {
+			t.Errorf("%v: NewMachine panicked=%v but Validate err=%v", p, panicked, verr)
+			continue
+		}
+		if verr != nil {
+			detail := strings.TrimPrefix(verr.Error(), "logp: ")
+			if !strings.Contains(msg, detail) {
+				t.Errorf("%v: panic %q does not carry the Validate diagnosis %q", p, msg, detail)
+			}
+		}
+	}
 }
 
 func TestPipelinedSendTiming(t *testing.T) {

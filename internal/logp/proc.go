@@ -76,6 +76,9 @@ type response struct {
 	msg Message
 	ok  bool
 	n   int64
+	// poison tells the program goroutine to unwind: the engine is
+	// shutting down and will never answer another request.
+	poison bool
 }
 
 type procState uint8
@@ -92,6 +95,18 @@ type arrived struct {
 	msg   Message
 	at    int64
 	msgID int64
+}
+
+// popBuf removes and returns the oldest buffered arrival. The vacated
+// head is zeroed so a retained Body does not outlive its acquisition.
+func (p *proc) popBuf() arrived {
+	head := p.buf[0]
+	p.buf[0] = arrived{}
+	p.buf = p.buf[1:]
+	if len(p.buf) == 0 {
+		p.buf = nil
+	}
+	return head
 }
 
 // proc is the engine-side representation of a processor; it also
@@ -124,18 +139,18 @@ func (p *proc) P() int         { return p.m.params.P }
 func (p *proc) Params() Params { return p.m.params }
 func (p *proc) Now() int64     { return p.clock }
 
+// call hands r to the engine and blocks for the answer. Plain channel
+// operations suffice — no select on a shutdown channel — because the
+// engine is always parked in await(p) while p's program code runs, so
+// the request send cannot block past shutdown, and a response always
+// arrives: either a real one or the shutdown sweep's poison.
 func (p *proc) call(r request) response {
-	select {
-	case p.req <- r:
-	case <-p.m.stopc:
+	p.req <- r
+	v := <-p.res
+	if v.poison {
 		panic(errStopped)
 	}
-	select {
-	case v := <-p.res:
-		return v
-	case <-p.m.stopc:
-		panic(errStopped)
-	}
+	return v
 }
 
 func (p *proc) Compute(n int64) {

@@ -4,7 +4,23 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
+
+// totalSimEvents accumulates, across every Machine in the process, the
+// number of simulated events committed: medium events (submissions and
+// deliveries) plus executed processor operations. The benchmark
+// harness samples it around an experiment to report simulated
+// events/sec, including events from machines constructed deep inside
+// the cross-simulators.
+var totalSimEvents atomic.Int64
+
+func addSimEvents(n int64) { totalSimEvents.Add(n) }
+
+// SimEventCount returns the cumulative number of simulated events
+// committed by all LogP machines in this process. Take a delta around
+// a workload to measure its simulation throughput.
+func SimEventCount() int64 { return totalSimEvents.Load() }
 
 // EventKind labels a point in a message's lifecycle.
 type EventKind uint8
