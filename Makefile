@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench bench-smoke bench-report experiments examples cover clean
+.PHONY: all test race bench bench-smoke bench-netsim bench-report experiments examples cover clean
 
 all: test
 
@@ -20,6 +20,12 @@ bench:
 # compile or crash, without CI-length timings.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Microbenchmarks of the packet-network simulator hot path (Route,
+# Stepper, MeasureGL). BenchmarkRoute must stay at ~0 allocs/op in
+# steady state; use a long -benchtime so ring warm-up amortizes away.
+bench-netsim:
+	$(GO) test -run '^$$' -bench 'BenchmarkRoute|BenchmarkStepper|BenchmarkMeasureGL' -benchtime 1000x -benchmem ./internal/netsim/
 
 # Regenerate the checked-in BENCH_logp.json (see EXPERIMENTS.md).
 bench-report:

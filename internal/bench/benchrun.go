@@ -8,18 +8,23 @@ import (
 	"time"
 
 	"repro/internal/logp"
+	"repro/internal/netsim"
 )
 
 // BenchResult records the benchmark measurements of one experiment:
 // wall time, simulation throughput (LogP events committed per second
 // of wall time, sampled from logp.SimEventCount so machines built deep
-// inside the cross-simulators are included), and heap traffic.
+// inside the cross-simulators are included; packet-network link
+// traversals per second likewise via netsim.SimHopCount), and heap
+// traffic.
 type BenchResult struct {
 	ID           string  `json:"id"`
 	Name         string  `json:"name"`
 	WallNanos    int64   `json:"wallNanos"`
 	SimEvents    int64   `json:"simEvents"`
 	EventsPerSec float64 `json:"eventsPerSec"`
+	NetHops      int64   `json:"netHops"`
+	HopsPerSec   float64 `json:"hopsPerSec"`
 	Allocs       uint64  `json:"allocs"`
 	AllocBytes   uint64  `json:"allocBytes"`
 	Rows         int     `json:"rows"`
@@ -69,10 +74,12 @@ func RunBench(cfg Config, ids []string) (*BenchReport, error) {
 		runtime.GC()
 		runtime.ReadMemStats(&ms0)
 		ev0 := logp.SimEventCount()
+		hp0 := netsim.SimHopCount()
 		start := time.Now()
 		tab := e.Run(cfg)
 		wall := time.Since(start)
 		ev1 := logp.SimEventCount()
+		hp1 := netsim.SimHopCount()
 		runtime.ReadMemStats(&ms1)
 
 		r := BenchResult{
@@ -80,12 +87,14 @@ func RunBench(cfg Config, ids []string) (*BenchReport, error) {
 			Name:       e.Name,
 			WallNanos:  wall.Nanoseconds(),
 			SimEvents:  ev1 - ev0,
+			NetHops:    hp1 - hp0,
 			Allocs:     ms1.Mallocs - ms0.Mallocs,
 			AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
 			Rows:       len(tab.Rows),
 		}
 		if wall > 0 {
 			r.EventsPerSec = float64(r.SimEvents) / wall.Seconds()
+			r.HopsPerSec = float64(r.NetHops) / wall.Seconds()
 		}
 		rep.TotalWallNanos += r.WallNanos
 		rep.Results = append(rep.Results, r)
@@ -107,13 +116,15 @@ func (r *BenchReport) Render() string {
 	t := &Table{
 		ID:      "BENCH",
 		Title:   fmt.Sprintf("benchmark (%s %s/%s, quick=%v, seed=%d)", r.GoVersion, r.GOOS, r.GOARCH, r.Quick, r.Seed),
-		Columns: []string{"id", "wall-ms", "sim-events", "events/sec", "allocs", "alloc-MB"},
+		Columns: []string{"id", "wall-ms", "sim-events", "events/sec", "net-hops", "hops/sec", "allocs", "alloc-MB"},
 	}
 	for _, b := range r.Results {
 		t.AddRow(b.ID,
 			float64(b.WallNanos)/1e6,
 			b.SimEvents,
 			b.EventsPerSec,
+			b.NetHops,
+			b.HopsPerSec,
 			b.Allocs,
 			float64(b.AllocBytes)/(1<<20))
 	}

@@ -128,8 +128,9 @@ func E1Table1(cfg Config) *Table {
 	}
 	graphs := table1Graphs(target)
 	for _, g := range graphs {
-		m := netsim.MeasureGL(g, hs, trials, cfg.Seed, false)
-		t.AddRow(g.Name, g.P(), g.AnalyticGamma, g.AnalyticDelta, g.Diameter(), m.G, m.L, m.R2)
+		net := netsim.New(g)
+		m := net.MeasureGL(hs, trials, cfg.Seed, false)
+		t.AddRow(g.Name, g.P(), g.AnalyticGamma, g.AnalyticDelta, net.Diameter(), m.G, m.L, m.R2)
 	}
 	return t
 }
@@ -380,7 +381,8 @@ func E7Observation1(cfg Config) *Table {
 	graphs := table1Graphs(target)
 	rng := stats.NewRNG(cfg.Seed + 7)
 	for _, g := range graphs {
-		m := netsim.MeasureGL(g, hs, trials, cfg.Seed, false)
+		net := netsim.New(g)
+		m := net.MeasureGL(hs, trials, cfg.Seed, false)
 		gBSP := math.Max(1, m.G)
 		lBSP := math.Max(1, m.L)
 		gStar, lStar := m.LogPParams()
@@ -388,11 +390,11 @@ func E7Observation1(cfg Config) *Table {
 		if capacity < 1 {
 			capacity = 1
 		}
-		net := netsim.New(g)
+		rt := net.NewRouter()
 		worst := 0
 		for trial := 0; trial < trials; trial++ {
 			rel := relation.RandomRegular(rng, g.P(), capacity)
-			if r := net.Route(rel, netsim.RouteOptions{Seed: rng.Uint64()}); r.Steps > worst {
+			if r := rt.Route(rel, netsim.RouteOptions{Seed: rng.Uint64()}); r.Steps > worst {
 				worst = r.Steps
 			}
 		}

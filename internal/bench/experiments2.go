@@ -143,8 +143,8 @@ func E10Portability(cfg Config) *Table {
 		}
 	}
 	for _, g := range graphs {
-		meas := netsim.MeasureGL(g, hs, 3, cfg.Seed, false)
 		net := netsim.New(g)
+		meas := net.MeasureGL(hs, 3, cfg.Seed, false)
 		m := netrun.NewMachine(net)
 		res, err := m.Run(prog)
 		must(err)

@@ -203,10 +203,10 @@ func E13LogPOnNetworks(cfg Config) *Table {
 	}
 	graphs := table1Graphs(target)
 	for _, g := range graphs {
-		meas := netsim.MeasureGL(g, hs, 3, cfg.Seed, false)
+		net := netsim.New(g)
+		meas := net.MeasureGL(hs, 3, cfg.Seed, false)
 		gStar, lStar := meas.LogPParams()
 		params := logp.Params{P: g.P(), L: int64(lStar), O: 1, G: int64(gStar)}
-		net := netsim.New(g)
 		capacity := int(params.Capacity())
 		m := netlogp.NewMachine(params, net)
 		res, err := m.Run(func(pr logp.Proc) {
@@ -219,7 +219,7 @@ func E13LogPOnNetworks(cfg Config) *Table {
 			}
 		})
 		must(err)
-		m2 := netlogp.NewMachine(params, netsim.New(g))
+		m2 := netlogp.NewMachine(params, net)
 		cbRes, err := m2.Run(func(pr logp.Proc) {
 			mb := collective.NewMailbox(pr)
 			collective.CombineBroadcast(mb, 1, int64(pr.ID()), collective.OpMax)

@@ -216,7 +216,10 @@ func (p *proc) Sync() {
 	p.inbox = <-p.release
 	p.inboxPos = 0
 	p.work = 0
-	p.outbox = nil
+	// The coordinator finished reading the outbox before releasing
+	// this processor, so its buffer can be reused for the next
+	// superstep instead of reallocated.
+	p.outbox = p.outbox[:0]
 	p.superstep++
 }
 
@@ -251,12 +254,26 @@ func (m *Machine) Run(prog Program) (Result, error) {
 	var firstErr error
 	active := n
 	finished := make([]bool, n)
-	for active > 0 {
+	// The inbox matrices alternate between barriers: at barrier k the
+	// coordinator fills inboxBufs[k%2] while every processor still
+	// consuming its previous pool reads from inboxBufs[(k-1)%2]; a
+	// buffer is only refilled at barrier k+2, by which point every
+	// active processor has passed barrier k+1 and swapped pools. This
+	// keeps the per-barrier [][]Message and synced allocations out of
+	// the steady state (channel handoffs order every access).
+	var inboxBufs [2][][]Message
+	inboxBufs[0] = make([][]Message, n)
+	inboxBufs[1] = make([][]Message, n)
+	synced := make([]int, 0, n)
+	for barrier := 0; active > 0; barrier++ {
 		// Collect exactly one report (Sync or finish) per active
 		// processor; this is the barrier.
-		inboxes := make([][]Message, n)
+		inboxes := inboxBufs[barrier&1]
+		for d := range inboxes {
+			inboxes[d] = inboxes[d][:0]
+		}
 		var cost SuperstepCost
-		synced := make([]int, 0, active)
+		synced = synced[:0]
 		got := 0
 		for got < active {
 			rep := <-reports

@@ -23,9 +23,12 @@ import (
 	"repro/internal/topology"
 )
 
-// Machine executes BSP programs on a packet network.
+// Machine executes BSP programs on a packet network. It reuses one
+// netsim.Router across supersteps and runs, so it is not safe for
+// concurrent use; build one Machine per goroutine.
 type Machine struct {
-	net *netsim.Network
+	net    *netsim.Network
+	router *netsim.Router
 	// barrierCost is charged once per superstep; it defaults to the
 	// network diameter.
 	barrierCost int64
@@ -50,7 +53,7 @@ func WithValiant(seed uint64) Option {
 
 // NewMachine builds a BSP-on-network machine over net.
 func NewMachine(net *netsim.Network, opts ...Option) *Machine {
-	m := &Machine{net: net, barrierCost: int64(net.G.Diameter())}
+	m := &Machine{net: net, router: net.NewRouter(), barrierCost: int64(net.Diameter())}
 	for _, o := range opts {
 		o(m)
 	}
@@ -164,7 +167,7 @@ func (m *Machine) Run(prog bsp.Program) (Result, error) {
 			continue
 		}
 		if len(rel.Pairs) > 0 {
-			r := m.net.Route(rel, netsim.RouteOptions{Valiant: m.valiant, Seed: m.seed + uint64(s)})
+			r := m.router.Route(rel, netsim.RouteOptions{Valiant: m.valiant, Seed: m.seed + uint64(s)})
 			cost.RouteSteps = int64(r.Steps)
 			res.MessagesSent += int64(r.Packets)
 		}

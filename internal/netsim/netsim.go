@@ -10,45 +10,118 @@
 // single-port discipline a node may transmit on only one of its links
 // per step (round-robin over non-empty queues), which is what
 // separates the two hypercube rows of Table 1.
+//
+// The hot loop is index-routed and allocation-free: Network.New
+// precomputes the outgoing directed-edge index of every (node,
+// destination) pair, so forwarding a packet is one table lookup and
+// one ring-buffer push; a step visits only the links that actually
+// hold packets (tracked by a bitset of active edges, or per-node
+// non-empty counters under single-port). A Router owns the reusable
+// scratch, so repeated Route calls allocate nothing once the rings
+// reach their high-water marks.
 package netsim
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/relation"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
 
+// simHops counts every link traversal committed by any Router or
+// Stepper in the process, cheaply (one atomic add per run or step, not
+// per hop). The benchmark harness samples it to report hops/sec.
+var simHops atomic.Int64
+
+// SimHopCount returns the process-wide number of link traversals
+// simulated so far, including by machines built deep inside the
+// cross-simulators.
+func SimHopCount() int64 { return simHops.Load() }
+
 // Network wraps a topology with routing tables.
 type Network struct {
 	G *topology.Graph
-	// next[u*n + d] is the neighbor of node u on a shortest path to
-	// node d (u itself when u == d).
-	next []int32
-	// edge[u][k] is the directed-edge index of u's k-th outgoing
-	// link; edges are numbered consecutively.
+	// nextEdge[d*n + u] is the directed-edge index of u's outgoing
+	// link toward node d along a shortest path (-1 when u == d): the
+	// O(1) routing table the hot loop uses instead of scanning
+	// G.Adj[u]. Destination-major layout keeps the per-destination
+	// BFS fill cache-local.
+	nextEdge []int32
+	// edgeIdx[u][k] is the directed-edge index of u's k-th outgoing
+	// link; edges are numbered consecutively, so edgeIdx[u] is the
+	// contiguous range [edgeStart[u], edgeStart[u+1]).
 	edgeIdx [][]int32
+	// edgeStart[u] is the first directed-edge index out of u (CSR
+	// form of edgeIdx, one flat lookup in the hot loop).
+	edgeStart []int32
 	// edgeTo[e] is the head node of directed edge e.
 	edgeTo []int32
+	// edgeFrom[e] is the tail node of directed edge e.
+	edgeFrom []int32
+	// procOf[node] is the processor id hosted at node, -1 for
+	// switches.
+	procOf []int32
 	nEdges int
+	diam   int
 }
 
 // New builds routing tables for g (BFS from every node).
 func New(g *topology.Graph) *Network {
 	n := g.Nodes()
-	net := &Network{G: g, next: make([]int32, n*n)}
-	net.edgeIdx = make([][]int32, n)
+	nEdges := 0
+	for _, a := range g.Adj {
+		nEdges += len(a)
+	}
+	net := &Network{
+		G:        g,
+		nextEdge: make([]int32, n*n),
+		edgeTo:   make([]int32, 0, nEdges),
+		edgeFrom: make([]int32, 0, nEdges),
+		edgeIdx:  make([][]int32, n),
+	}
+	net.edgeStart = make([]int32, n+1)
+	idxBacking := make([]int32, 0, nEdges)
 	for u := 0; u < n; u++ {
-		net.edgeIdx[u] = make([]int32, len(g.Adj[u]))
-		for k, v := range g.Adj[u] {
-			net.edgeIdx[u][k] = int32(net.nEdges)
+		lo := len(idxBacking)
+		net.edgeStart[u] = int32(net.nEdges)
+		for _, v := range g.Adj[u] {
+			idxBacking = append(idxBacking, int32(net.nEdges))
 			net.edgeTo = append(net.edgeTo, int32(v))
+			net.edgeFrom = append(net.edgeFrom, int32(u))
 			net.nEdges++
 		}
+		net.edgeIdx[u] = idxBacking[lo:len(idxBacking):len(idxBacking)]
 	}
-	// BFS from each destination over the undirected graph; next hop
-	// toward d is the BFS parent.
+	net.edgeStart[n] = int32(net.nEdges)
+	// rev[e] is the directed edge opposite to e (the graph is
+	// undirected, so every u->v link has a v->u twin).
+	rev := make([]int32, net.nEdges)
+	for u := 0; u < n; u++ {
+		for k, v := range g.Adj[u] {
+			e := net.edgeIdx[u][k]
+			rev[e] = -1
+			for k2, w := range g.Adj[v] {
+				if w == u {
+					rev[e] = net.edgeIdx[v][k2]
+					break
+				}
+			}
+			if rev[e] < 0 {
+				panic(fmt.Sprintf("netsim: %s asymmetric edge %d-%d (bug)", g.Name, u, v))
+			}
+		}
+	}
+	// BFS from each destination over the undirected graph; the next
+	// hop toward d from a newly discovered node v is its BFS parent
+	// u, reached over the reverse of the discovering edge — recorded
+	// directly as the directed-edge index the hot loop routes by.
+	// The deepest BFS level over all destinations is the diameter,
+	// recorded as a free byproduct.
 	dist := make([]int32, n)
 	queue := make([]int32, 0, n)
 	for d := 0; d < n; d++ {
@@ -57,32 +130,50 @@ func New(g *topology.Graph) *Network {
 		}
 		dist[d] = 0
 		queue = append(queue[:0], int32(d))
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for _, v := range g.Adj[u] {
+		seen := 1
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for k, v := range g.Adj[u] {
 				if dist[v] < 0 {
 					dist[v] = dist[u] + 1
+					if int(dist[v]) > net.diam {
+						net.diam = int(dist[v])
+					}
 					// From v, the next hop toward d is u.
-					net.next[int(v)*n+d] = u
+					net.nextEdge[d*n+int(v)] = rev[net.edgeIdx[u][k]]
 					queue = append(queue, int32(v))
+					seen++
 				}
 			}
 		}
-		net.next[d*n+d] = int32(d)
-		for u := 0; u < n; u++ {
-			if dist[u] < 0 {
-				panic(fmt.Sprintf("netsim: %s disconnected (node %d unreachable from %d)", g.Name, u, d))
-			}
+		net.nextEdge[d*n+d] = -1
+		if seen != n {
+			panic(fmt.Sprintf("netsim: %s disconnected (%d of %d nodes reachable from %d)", g.Name, seen, n, d))
 		}
+	}
+	net.procOf = make([]int32, n)
+	for i := range net.procOf {
+		net.procOf[i] = -1
+	}
+	for i, node := range g.Processors {
+		net.procOf[node] = int32(i)
 	}
 	return net
 }
 
-// NextHop returns the neighbor of u on a shortest path to d.
+// NextHop returns the neighbor of u on a shortest path to d (u itself
+// when u == d).
 func (net *Network) NextHop(u, d int) int {
-	return int(net.next[u*net.G.Nodes()+d])
+	e := net.nextEdge[d*net.G.Nodes()+u]
+	if e < 0 {
+		return u
+	}
+	return int(net.edgeTo[e])
 }
+
+// Diameter returns the graph diameter, computed as a byproduct of the
+// routing-table BFS (no extra all-pairs pass, unlike G.Diameter()).
+func (net *Network) Diameter() int { return net.diam }
 
 // RouteOptions configures a routing run.
 type RouteOptions struct {
@@ -117,19 +208,110 @@ type packet struct {
 	birth int32
 }
 
+type arrival struct {
+	node int32
+	pk   packet
+}
+
+// Router owns the per-run scratch of the simulator — one ring buffer
+// per directed edge, the active-link tracking, and the arrival buffer
+// — so that repeated Route calls on the same Network reuse memory and
+// reach zero steady-state allocations. A Router is not safe for
+// concurrent use; build one per goroutine (they share the Network's
+// immutable tables). After a MaxSteps panic the Router holds stranded
+// packets and must be discarded.
+type Router struct {
+	net    *Network
+	queues []ring[packet]
+	// Multi-port: bitset of edges with non-empty queues.
+	activeEdge bitset
+	// Single-port: per-node count of non-empty outgoing queues plus
+	// the bitset of nodes with at least one.
+	nodeCnt    []int32
+	activeNode bitset
+	arrivals   []arrival
+	// multiPort caches net.G.MultiPort so push/pop skip two pointer
+	// hops per packet.
+	multiPort bool
+	// rng drives the Valiant intermediate choices; reseeded per run
+	// so repeated Route calls allocate nothing.
+	rng stats.RNG
+}
+
+// NewRouter returns an empty Router over net.
+func (net *Network) NewRouter() *Router {
+	r := &Router{net: net, queues: make([]ring[packet], net.nEdges), multiPort: net.G.MultiPort}
+	if net.G.MultiPort {
+		r.activeEdge = newBitset(net.nEdges)
+	} else {
+		n := net.G.Nodes()
+		r.nodeCnt = make([]int32, n)
+		r.activeNode = newBitset(n)
+	}
+	return r
+}
+
 // Route delivers every message of rel and returns the measured cost.
+// It is shorthand for NewRouter().Route; hot callers should hold a
+// Router and reuse it.
 func (net *Network) Route(rel relation.Relation, opts RouteOptions) RouteResult {
+	return net.NewRouter().Route(rel, opts)
+}
+
+// push enqueues pk on directed edge e, maintaining the active-link
+// tracking and the peak-depth statistic.
+func (r *Router) push(e int32, pk packet, maxQueue *int) {
+	q := &r.queues[e]
+	if q.n == 0 {
+		if r.multiPort {
+			r.activeEdge.set(int(e))
+		} else {
+			u := r.net.edgeFrom[e]
+			if r.nodeCnt[u] == 0 {
+				r.activeNode.set(int(u))
+			}
+			r.nodeCnt[u]++
+		}
+	}
+	q.push(pk)
+	if q.n > *maxQueue {
+		*maxQueue = q.n
+	}
+}
+
+// pop dequeues the head of edge e, clearing the active-link tracking
+// when the queue drains.
+func (r *Router) pop(e int32) packet {
+	q := &r.queues[e]
+	pk := q.pop()
+	if q.n == 0 {
+		if r.multiPort {
+			r.activeEdge.clear(int(e))
+		} else {
+			u := r.net.edgeFrom[e]
+			r.nodeCnt[u]--
+			if r.nodeCnt[u] == 0 {
+				r.activeNode.clear(int(u))
+			}
+		}
+	}
+	return pk
+}
+
+// Route delivers every message of rel and returns the measured cost.
+func (r *Router) Route(rel relation.Relation, opts RouteOptions) RouteResult {
+	net := r.net
 	if rel.P != net.G.P() {
 		panic(fmt.Sprintf("netsim: relation has %d processors, network %d", rel.P, net.G.P()))
 	}
 	n := net.G.Nodes()
-	rng := stats.NewRNG(opts.Seed)
+	rng := &r.rng
+	rng.Reseed(opts.Seed)
 	maxSteps := opts.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = 10000 + 200*n + 40*len(rel.Pairs)
 	}
 
-	queues := make([][]packet, net.nEdges)
 	res := RouteResult{Packets: len(rel.Pairs)}
 	remaining := 0
 
@@ -151,18 +333,8 @@ func (net *Network) Route(rel relation.Relation, opts RouteOptions) RouteResult 
 			}
 			target = pk.dst
 		}
-		hop := net.NextHop(u, int(target))
-		for k, v := range net.G.Adj[u] {
-			if v == hop {
-				e := net.edgeIdx[u][k]
-				queues[e] = append(queues[e], pk)
-				if len(queues[e]) > res.MaxQueue {
-					res.MaxQueue = len(queues[e])
-				}
-				return true
-			}
-		}
-		panic("netsim: next hop not adjacent (bug)")
+		r.push(net.nextEdge[int(target)*n+u], pk, &res.MaxQueue)
+		return true
 	}
 
 	for _, pr := range rel.Pairs {
@@ -177,56 +349,65 @@ func (net *Network) Route(rel relation.Relation, opts RouteOptions) RouteResult 
 		}
 	}
 
-	type arrival struct {
-		node int
-		pk   packet
-	}
-	var arrivals []arrival
 	for step := 1; remaining > 0; step++ {
 		if step > maxSteps {
 			panic(fmt.Sprintf("netsim: %s routing exceeded %d steps with %d packets left (bug or pathological congestion)", net.G.Name, maxSteps, remaining))
 		}
-		arrivals = arrivals[:0]
+		r.arrivals = r.arrivals[:0]
 		if net.G.MultiPort {
-			for e := 0; e < net.nEdges; e++ {
-				if len(queues[e]) == 0 {
-					continue
+			// Walk the active-edge bitset in index order (matching a
+			// full scan); pops may clear bits at the current position
+			// but pushes are buffered in arrivals, so no new bits
+			// appear mid-walk.
+			for w := 0; w < len(r.activeEdge); w++ {
+				word := r.activeEdge[w]
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					word &^= 1 << uint(b)
+					e := int32(w<<6 + b)
+					pk := r.pop(e)
+					pk.hops++
+					r.arrivals = append(r.arrivals, arrival{node: net.edgeTo[e], pk: pk})
 				}
-				pk := queues[e][0]
-				queues[e] = queues[e][1:]
-				pk.hops++
-				arrivals = append(arrivals, arrival{node: int(net.edgeTo[e]), pk: pk})
 			}
 		} else {
-			// Single-port: each node transmits on one link,
+			// Single-port: each active node transmits on one link,
 			// rotating the starting link each step for fairness.
-			for u := 0; u < n; u++ {
-				deg := len(net.edgeIdx[u])
-				if deg == 0 {
-					continue
-				}
-				start := (step + u) % deg
-				for k := 0; k < deg; k++ {
-					e := net.edgeIdx[u][(start+k)%deg]
-					if len(queues[e]) == 0 {
-						continue
+			for w := 0; w < len(r.activeNode); w++ {
+				word := r.activeNode[w]
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					word &^= 1 << uint(b)
+					u := w<<6 + b
+					lo := int(net.edgeStart[u])
+					deg := int(net.edgeStart[u+1]) - lo
+					start := (step + u) % deg
+					for k := 0; k < deg; k++ {
+						j := start + k
+						if j >= deg {
+							j -= deg
+						}
+						e := int32(lo + j)
+						if r.queues[e].n == 0 {
+							continue
+						}
+						pk := r.pop(e)
+						pk.hops++
+						r.arrivals = append(r.arrivals, arrival{node: net.edgeTo[e], pk: pk})
+						break
 					}
-					pk := queues[e][0]
-					queues[e] = queues[e][1:]
-					pk.hops++
-					arrivals = append(arrivals, arrival{node: int(net.edgeTo[e]), pk: pk})
-					break
 				}
 			}
 		}
-		for _, a := range arrivals {
-			res.TotalHops++
-			if !enqueue(a.node, a.pk) {
+		res.TotalHops += int64(len(r.arrivals))
+		for _, a := range r.arrivals {
+			if !enqueue(int(a.node), a.pk) {
 				remaining--
 				res.Steps = step
 			}
 		}
 	}
+	simHops.Add(res.TotalHops)
 	return res
 }
 
@@ -238,40 +419,113 @@ type Measurement struct {
 	// Fit of mean routing steps against h.
 	G, L float64
 	R2   float64
-	// PermTime is the measured time to route one random permutation
-	// (an empirical latency/diameter proxy).
+	// PermTime is the mean measured time to route one random regular
+	// relation at the smallest h in the measured grid — with h = 1 in
+	// the grid (the usual case) that is the time of one random
+	// permutation, an empirical latency/diameter proxy.
 	PermTime float64
 	// Points holds (h, steps) averages used for the fit.
 	Points [][2]float64
 }
 
+// trialSeed derives the RNG seed of one (h, trial) measurement run
+// from the base seed: golden-ratio (Weyl) increments per coordinate,
+// passed through the SplitMix64 finalizer so neighboring runs land in
+// uncorrelated streams. Sequential and parallel MeasureGL runs use
+// the same derivation, which is what makes their outputs
+// bit-identical; deriving from (h, trial) rather than the job index
+// also makes each h's trials independent of the grid ordering.
+func trialSeed(seed uint64, h, trial int) uint64 {
+	x := seed + uint64(h)*0x9e3779b97f4a7c15 + (uint64(trial)+1)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // MeasureGL routes random regular h-relations for each h in hs
-// (averaging over trials) and fits steps = G*h + L.
+// (averaging over trials) and fits steps = G*h + L. The (h, trial)
+// runs are independent — each derives its RNG stream up front via
+// trialSeed — so they fan out across GOMAXPROCS workers; the result
+// is bit-identical to a sequential run regardless of worker count or
+// scheduling. Callers holding a Network should use the method form to
+// avoid rebuilding the routing tables.
 func MeasureGL(g *topology.Graph, hs []int, trials int, seed uint64, valiant bool) Measurement {
-	net := New(g)
-	rng := stats.NewRNG(seed)
+	return New(g).MeasureGL(hs, trials, seed, valiant)
+}
+
+// MeasureGL is the method form over prebuilt routing tables.
+func (net *Network) MeasureGL(hs []int, trials int, seed uint64, valiant bool) Measurement {
+	return net.measureGL(hs, trials, seed, valiant, runtime.GOMAXPROCS(0))
+}
+
+// measureGL is MeasureGL with an explicit worker count (tests pin it
+// to 1 to assert parallel/sequential equivalence).
+func (net *Network) measureGL(hs []int, trials int, seed uint64, valiant bool, workers int) Measurement {
+	if trials < 1 {
+		panic(fmt.Sprintf("netsim: MeasureGL needs trials >= 1, got %d", trials))
+	}
+	g := net.G
+	steps := make([]float64, len(hs)*trials)
+	runJob := func(rt *Router, j int) {
+		h := hs[j/trials]
+		rng := stats.NewRNG(trialSeed(seed, h, j%trials))
+		rel := relation.RandomRegular(rng, g.P(), h)
+		r := rt.Route(rel, RouteOptions{Valiant: valiant, Seed: rng.Uint64()})
+		steps[j] = float64(r.Steps)
+	}
+	if workers > len(steps) {
+		workers = len(steps)
+	}
+	if workers <= 1 {
+		rt := net.NewRouter()
+		for j := range steps {
+			runJob(rt, j)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rt := net.NewRouter()
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= len(steps) {
+						return
+					}
+					runJob(rt, j)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
 	m := Measurement{Topology: g.Name, P: g.P()}
 	xs := make([]float64, 0, len(hs))
 	ys := make([]float64, 0, len(hs))
-	for _, h := range hs {
+	minH := 0
+	for i, h := range hs {
 		var sum float64
 		for t := 0; t < trials; t++ {
-			rel := relation.RandomRegular(rng, g.P(), h)
-			r := net.Route(rel, RouteOptions{Valiant: valiant, Seed: rng.Uint64()})
-			sum += float64(r.Steps)
+			sum += steps[i*trials+t]
 		}
 		mean := sum / float64(trials)
 		xs = append(xs, float64(h))
 		ys = append(ys, mean)
 		m.Points = append(m.Points, [2]float64{float64(h), mean})
-		if h == 1 {
+		if minH == 0 || h < minH {
+			minH = h
 			m.PermTime = mean
 		}
 	}
-	fit := stats.FitLine(xs, ys)
-	m.G, m.L, m.R2 = fit.Slope, fit.Intercept, fit.R2
-	if m.PermTime == 0 && len(ys) > 0 {
-		m.PermTime = ys[0]
+	// A single-point grid cannot support a line fit; report the
+	// PermTime probe alone and leave G/L/R2 zero.
+	if len(xs) >= 2 {
+		fit := stats.FitLine(xs, ys)
+		m.G, m.L, m.R2 = fit.Slope, fit.Intercept, fit.R2
 	}
 	return m
 }

@@ -1,0 +1,59 @@
+package netsim
+
+// ring is a growable FIFO queue over a power-of-two circular buffer.
+// It replaces the queues[e] = queues[e][1:] slice FIFOs of the first
+// simulator: a pop is O(1) without abandoning buffer prefix capacity,
+// so a router that reuses its rings reaches zero steady-state
+// allocations once every ring has grown to its high-water mark.
+type ring[T any] struct {
+	buf  []T
+	head int // index of the oldest element; always < len(buf)
+	n    int // number of queued elements
+}
+
+// push appends v at the tail, growing the buffer when full.
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// pop removes and returns the oldest element; it panics on an empty
+// ring (a simulator bug, queues are popped only while tracked active).
+func (r *ring[T]) pop() T {
+	if r.n == 0 {
+		panic("netsim: pop from empty ring (bug)")
+	}
+	v := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// grow doubles the buffer (minimum 8 slots), unrolling the wrapped
+// contents to the front.
+func (r *ring[T]) grow() {
+	capNew := 2 * len(r.buf)
+	if capNew < 8 {
+		capNew = 8
+	}
+	buf := make([]T, capNew)
+	mask := len(r.buf) - 1
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&mask]
+	}
+	r.buf, r.head = buf, 0
+}
+
+// bitset is a fixed-size set of small integers, used to track the
+// directed edges (multi-port) or nodes (single-port) that currently
+// hold packets, so a simulation step visits only active links instead
+// of scanning every edge of the network.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)   { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }

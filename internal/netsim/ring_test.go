@@ -1,0 +1,109 @@
+package netsim
+
+import "testing"
+
+func TestRingFIFOOrder(t *testing.T) {
+	var r ring[int]
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			r.push(i)
+		}
+		for i := 0; i < 100; i++ {
+			if got := r.pop(); got != i {
+				t.Fatalf("round %d: pop = %d, want %d", round, got, i)
+			}
+		}
+		if r.n != 0 {
+			t.Fatalf("round %d: %d elements left", round, r.n)
+		}
+	}
+}
+
+func TestRingInterleavedWrap(t *testing.T) {
+	// Interleave pushes and pops so the head wraps repeatedly across
+	// buffer growth.
+	var r ring[int]
+	next, expect := 0, 0
+	for i := 0; i < 1000; i++ {
+		for k := 0; k < 3; k++ {
+			r.push(next)
+			next++
+		}
+		for k := 0; k < 2; k++ {
+			if got := r.pop(); got != expect {
+				t.Fatalf("pop = %d, want %d", got, expect)
+			}
+			expect++
+		}
+	}
+	for r.n > 0 {
+		if got := r.pop(); got != expect {
+			t.Fatalf("drain pop = %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d elements, pushed %d", expect, next)
+	}
+}
+
+func TestRingPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pop on empty ring did not panic")
+		}
+	}()
+	var r ring[int]
+	r.pop()
+}
+
+// FuzzRing drives a ring with an arbitrary push/pop program and checks
+// every invariant against a plain-slice reference queue: FIFO order,
+// length accounting, and power-of-two buffer geometry.
+func FuzzRing(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 0, 4, 0})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 255, 255, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		var r ring[byte]
+		var ref []byte
+		for _, op := range program {
+			if op == 0 {
+				// Pop (skipped when empty; emptiness must agree).
+				if (r.n == 0) != (len(ref) == 0) {
+					t.Fatalf("length mismatch: ring %d, reference %d", r.n, len(ref))
+				}
+				if len(ref) == 0 {
+					continue
+				}
+				got := r.pop()
+				if got != ref[0] {
+					t.Fatalf("pop = %d, want %d", got, ref[0])
+				}
+				ref = ref[1:]
+			} else {
+				r.push(op)
+				ref = append(ref, op)
+			}
+			if r.n != len(ref) {
+				t.Fatalf("length mismatch after op %d: ring %d, reference %d", op, r.n, len(ref))
+			}
+			if len(r.buf) != 0 && len(r.buf)&(len(r.buf)-1) != 0 {
+				t.Fatalf("buffer size %d not a power of two", len(r.buf))
+			}
+			if r.n > len(r.buf) {
+				t.Fatalf("%d elements in a %d-slot buffer", r.n, len(r.buf))
+			}
+			if len(r.buf) > 0 && (r.head < 0 || r.head >= len(r.buf)) {
+				t.Fatalf("head %d outside buffer of %d", r.head, len(r.buf))
+			}
+		}
+		// Drain and compare the tail.
+		for i := 0; r.n > 0; i++ {
+			got := r.pop()
+			if got != ref[i] {
+				t.Fatalf("drain pop = %d, want %d", got, ref[i])
+			}
+		}
+	})
+}

@@ -1,15 +1,29 @@
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Stepper is the incremental interface to the packet network: inject
 // packets at the current step, advance one step at a time, and collect
 // arrivals. Route is a convenience loop over a Stepper; the LogP-on-
 // network co-simulation in internal/netlogp drives a Stepper in
 // lockstep with its processor clocks.
+//
+// Like Router, a Stepper owns reusable ring buffers and active-link
+// tracking, so steady-state stepping allocates nothing. It is not safe
+// for concurrent use.
 type Stepper struct {
-	net     *Network
-	queues  [][]spacket
+	net    *Network
+	queues []ring[spacket]
+	// Multi-port: bitset of edges with non-empty queues.
+	activeEdge bitset
+	// Single-port: per-node count of non-empty outgoing queues plus
+	// the bitset of nodes with at least one.
+	nodeCnt    []int32
+	activeNode bitset
+
 	step    int64
 	pending int
 	// MaxQueue is the peak FIFO depth observed on any link.
@@ -17,12 +31,18 @@ type Stepper struct {
 	// TotalHops counts link traversals.
 	TotalHops int64
 
-	procIdx map[int]int
+	moves    []smove
+	arrivals []Arrival
 }
 
 type spacket struct {
 	id  int64
 	dst int32 // destination node
+}
+
+type smove struct {
+	pk   spacket
+	node int32
 }
 
 // Arrival reports a packet reaching its destination processor.
@@ -35,7 +55,15 @@ type Arrival struct {
 // NewStepper returns a stepper positioned at step 0 with an empty
 // network.
 func (net *Network) NewStepper() *Stepper {
-	return &Stepper{net: net, queues: make([][]spacket, net.nEdges)}
+	s := &Stepper{net: net, queues: make([]ring[spacket], net.nEdges)}
+	if net.G.MultiPort {
+		s.activeEdge = newBitset(net.nEdges)
+	} else {
+		n := net.G.Nodes()
+		s.nodeCnt = make([]int32, n)
+		s.activeNode = newBitset(n)
+	}
+	return s
 }
 
 // Step returns the current step counter.
@@ -45,8 +73,16 @@ func (s *Stepper) Step() int64 { return s.step }
 func (s *Stepper) Pending() int { return s.pending }
 
 // Inject enqueues a packet from srcProc to dstProc at the current
-// step. Packets to self are rejected (they never enter the network).
+// step. Packets to self are rejected (they never enter the network),
+// as are processor ids outside [0, P).
 func (s *Stepper) Inject(id int64, srcProc, dstProc int) {
+	p := s.net.G.P()
+	if srcProc < 0 || srcProc >= p {
+		panic(fmt.Sprintf("netsim: Stepper.Inject source processor %d out of range [0, %d)", srcProc, p))
+	}
+	if dstProc < 0 || dstProc >= p {
+		panic(fmt.Sprintf("netsim: Stepper.Inject destination processor %d out of range [0, %d)", dstProc, p))
+	}
 	if srcProc == dstProc {
 		panic("netsim: Stepper.Inject to self")
 	}
@@ -56,94 +92,103 @@ func (s *Stepper) Inject(id int64, srcProc, dstProc int) {
 	s.pending++
 }
 
+// enqueue pushes pk onto the outgoing edge of u toward its
+// destination, maintaining the active-link tracking.
 func (s *Stepper) enqueue(u int, pk spacket) {
-	hop := s.net.NextHop(u, int(pk.dst))
-	for k, v := range s.net.G.Adj[u] {
-		if v == hop {
-			e := s.net.edgeIdx[u][k]
-			s.queues[e] = append(s.queues[e], pk)
-			if len(s.queues[e]) > s.MaxQueue {
-				s.MaxQueue = len(s.queues[e])
+	e := s.net.nextEdge[int(pk.dst)*s.net.G.Nodes()+u]
+	q := &s.queues[e]
+	if q.n == 0 {
+		if s.net.G.MultiPort {
+			s.activeEdge.set(int(e))
+		} else {
+			from := s.net.edgeFrom[e]
+			if s.nodeCnt[from] == 0 {
+				s.activeNode.set(int(from))
 			}
-			return
+			s.nodeCnt[from]++
 		}
 	}
-	panic(fmt.Sprintf("netsim: next hop %d not adjacent to %d (bug)", hop, u))
+	q.push(pk)
+	if q.n > s.MaxQueue {
+		s.MaxQueue = q.n
+	}
+}
+
+// pop dequeues the head of edge e, clearing the active tracking when
+// the queue drains.
+func (s *Stepper) pop(e int32) spacket {
+	q := &s.queues[e]
+	pk := q.pop()
+	if q.n == 0 {
+		if s.net.G.MultiPort {
+			s.activeEdge.clear(int(e))
+		} else {
+			from := s.net.edgeFrom[e]
+			s.nodeCnt[from]--
+			if s.nodeCnt[from] == 0 {
+				s.activeNode.clear(int(from))
+			}
+		}
+	}
+	return pk
 }
 
 // Advance moves the network forward one step and returns the packets
-// that arrived at their destinations during it.
+// that arrived at their destinations during it. The returned slice is
+// reused by the next Advance call; callers must consume (or copy) it
+// before advancing again.
 func (s *Stepper) Advance() []Arrival {
 	s.step++
-	var arrivals []Arrival
-	deliver := func(pk spacket, node int) {
+	s.moves = s.moves[:0]
+	s.arrivals = s.arrivals[:0]
+	if s.net.G.MultiPort {
+		for w := 0; w < len(s.activeEdge); w++ {
+			word := s.activeEdge[w]
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				e := int32(w<<6 + b)
+				s.moves = append(s.moves, smove{pk: s.pop(e), node: s.net.edgeTo[e]})
+			}
+		}
+	} else {
+		for w := 0; w < len(s.activeNode); w++ {
+			word := s.activeNode[w]
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				u := w<<6 + b
+				lo := int(s.net.edgeStart[u])
+				deg := int(s.net.edgeStart[u+1]) - lo
+				start := (int(s.step) + u) % deg
+				for k := 0; k < deg; k++ {
+					j := start + k
+					if j >= deg {
+						j -= deg
+					}
+					e := int32(lo + j)
+					if s.queues[e].n == 0 {
+						continue
+					}
+					s.moves = append(s.moves, smove{pk: s.pop(e), node: s.net.edgeTo[e]})
+					break
+				}
+			}
+		}
+	}
+	for _, mv := range s.moves {
 		s.TotalHops++
-		if int32(node) == pk.dst {
-			arrivals = append(arrivals, Arrival{
-				ID:   pk.id,
-				Dst:  s.procOf(int(pk.dst)),
+		if mv.node == mv.pk.dst {
+			s.arrivals = append(s.arrivals, Arrival{
+				ID:   mv.pk.id,
+				Dst:  int(s.net.procOf[mv.pk.dst]),
 				Step: s.step,
 			})
 			s.pending--
-			return
-		}
-		s.enqueue(node, pk)
-	}
-	if s.net.G.MultiPort {
-		type move struct {
-			pk   spacket
-			node int
-		}
-		var moves []move
-		for e := 0; e < s.net.nEdges; e++ {
-			if len(s.queues[e]) == 0 {
-				continue
-			}
-			pk := s.queues[e][0]
-			s.queues[e] = s.queues[e][1:]
-			moves = append(moves, move{pk: pk, node: int(s.net.edgeTo[e])})
-		}
-		for _, mv := range moves {
-			deliver(mv.pk, mv.node)
-		}
-		return arrivals
-	}
-	type move struct {
-		pk   spacket
-		node int
-	}
-	var moves []move
-	n := s.net.G.Nodes()
-	for u := 0; u < n; u++ {
-		deg := len(s.net.edgeIdx[u])
-		if deg == 0 {
 			continue
 		}
-		start := (int(s.step) + u) % deg
-		for k := 0; k < deg; k++ {
-			e := s.net.edgeIdx[u][(start+k)%deg]
-			if len(s.queues[e]) == 0 {
-				continue
-			}
-			pk := s.queues[e][0]
-			s.queues[e] = s.queues[e][1:]
-			moves = append(moves, move{pk: pk, node: int(s.net.edgeTo[e])})
-			break
-		}
+		s.enqueue(int(mv.node), mv.pk)
 	}
-	for _, mv := range moves {
-		deliver(mv.pk, mv.node)
-	}
-	return arrivals
-}
-
-// procOf maps a processor-hosting node back to its processor id.
-func (s *Stepper) procOf(node int) int {
-	if s.procIdx == nil {
-		s.procIdx = make(map[int]int, len(s.net.G.Processors))
-		for i, n := range s.net.G.Processors {
-			s.procIdx[n] = i
-		}
-	}
-	return s.procIdx[node]
+	simHops.Add(int64(len(s.moves)))
+	return s.arrivals
 }

@@ -31,6 +31,14 @@ func splitMix64(state *uint64) uint64 {
 // NewRNG returns a generator deterministically derived from seed.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed re-initializes the generator in place to the state NewRNG
+// would produce, so hot paths can reuse one RNG across runs without
+// allocating.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitMix64(&sm)
@@ -39,7 +47,6 @@ func NewRNG(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 // Split returns a new generator whose stream is independent of the
