@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench bench-smoke bench-netsim bench-report experiments examples cover clean
+.PHONY: all test race audit audit-report bench bench-smoke bench-netsim bench-report experiments examples cover clean
 
 all: test
 
@@ -12,6 +12,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Run the quick experiment suite under the streaming LogP invariant
+# auditor; fails on any model-invariant violation (see EXPERIMENTS.md).
+audit:
+	$(GO) run ./cmd/bsplogp -all -quick -audit -auditout /tmp/AUDIT_logp.json
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -30,6 +35,10 @@ bench-netsim:
 # Regenerate the checked-in BENCH_logp.json (see EXPERIMENTS.md).
 bench-report:
 	$(GO) run ./cmd/bsplogp -bench -quick -benchout BENCH_logp.json
+
+# Regenerate the checked-in AUDIT_logp.json (see EXPERIMENTS.md).
+audit-report:
+	$(GO) run ./cmd/bsplogp -all -quick -audit -auditout AUDIT_logp.json
 
 experiments:
 	$(GO) run ./cmd/bsplogp -all

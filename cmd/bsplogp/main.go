@@ -9,17 +9,21 @@
 //	bsplogp -experiment E3 [-quick] [-seed 1]
 //	bsplogp -all [-quick]
 //	bsplogp -bench [-experiment E3] [-quick] [-benchout BENCH_logp.json]
+//	bsplogp -audit [-experiment E3] [-quick] [-auditout AUDIT_logp.json] [-trace trace.jsonl]
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/logp"
 )
 
 func main() {
@@ -38,6 +42,9 @@ func run(args []string, out, errOut io.Writer) int {
 		seed     = fs.Uint64("seed", 1, "random seed")
 		doBench  = fs.Bool("bench", false, "benchmark experiments (all, or the one given by -experiment) and write a JSON report")
 		benchOut = fs.String("benchout", "BENCH_logp.json", "path of the JSON report written by -bench")
+		doAudit  = fs.Bool("audit", false, "run experiments (all, or the one given by -experiment) under the streaming LogP invariant auditor; nonzero exit on any violation")
+		auditOut = fs.String("auditout", "AUDIT_logp.json", "path of the JSON report written by -audit")
+		traceOut = fs.String("trace", "", "with -audit: also write every audited event to this JSONL file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -54,6 +61,52 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 
 	cfg := bench.Config{Quick: *quick, Seed: *seed}
+
+	if *doAudit {
+		var ids []string
+		if *id != "" {
+			ids = []string{*id}
+		}
+		var sink func(logp.Event)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(errOut, "bsplogp: %v\n", err)
+				return 1
+			}
+			w := bufio.NewWriter(f)
+			var mu sync.Mutex // machines may run on concurrent goroutines
+			sink = func(ev logp.Event) {
+				mu.Lock()
+				fmt.Fprintf(w, `{"t":%d,"kind":%q,"seq":%d,"src":%d,"dst":%d,"tag":%d,"payload":%d,"aux":%d}`+"\n",
+					ev.Time, ev.Kind.String(), ev.Seq, ev.Msg.Src, ev.Msg.Dst, ev.Msg.Tag, ev.Msg.Payload, ev.Msg.Aux)
+				mu.Unlock()
+			}
+			defer func() {
+				w.Flush()
+				f.Close()
+			}()
+		}
+		rep, err := bench.RunAudit(cfg, ids, sink)
+		if err != nil {
+			fmt.Fprintf(errOut, "bsplogp: %v; use -list\n", err)
+			return 2
+		}
+		fmt.Fprintln(out, rep.Render())
+		if err := rep.WriteJSON(*auditOut); err != nil {
+			fmt.Fprintf(errOut, "bsplogp: writing report: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "report written to %s\n", *auditOut)
+		if *traceOut != "" {
+			fmt.Fprintf(out, "trace written to %s\n", *traceOut)
+		}
+		if rep.TotalViolations > 0 {
+			fmt.Fprintf(errOut, "bsplogp: %d invariant violations\n", rep.TotalViolations)
+			return 1
+		}
+		return 0
+	}
 
 	if *doBench {
 		var ids []string

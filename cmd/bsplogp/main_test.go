@@ -111,3 +111,60 @@ func TestCLIHelpExitsZero(t *testing.T) {
 		}
 	}
 }
+
+func TestCLIAuditWritesReportAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	auditPath := filepath.Join(dir, "audit.json")
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-audit", "-quick", "-experiment", "e3",
+		"-auditout", auditPath, "-trace", tracePath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "AUDIT") || !strings.Contains(out.String(), "all invariants held") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(auditPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		TotalRuns       int64 `json:"totalRuns"`
+		TotalViolations int64 `json:"totalViolations"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalRuns == 0 || rep.TotalViolations != 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(trace)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("empty trace file")
+	}
+	var ev struct {
+		T    int64  `json:"t"`
+		Kind string `json:"kind"`
+		Seq  int64  `json:"seq"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("first trace line is not JSON: %v\n%s", err, lines[0])
+	}
+	if ev.Kind != "submit" {
+		t.Fatalf("first event kind %q, want submit", ev.Kind)
+	}
+}
+
+func TestCLIAuditUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-audit", "-experiment", "E99"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

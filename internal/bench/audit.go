@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/logp"
+)
+
+// AuditResult is one experiment's outcome under the streaming auditor:
+// how many LogP machine runs it performed, the merged metrics, and any
+// invariant violations.
+type AuditResult struct {
+	ID      string            `json:"id"`
+	Name    string            `json:"name"`
+	Summary logp.AuditSummary `json:"summary"`
+}
+
+// AuditReport is the top-level schema of AUDIT_logp.json, written next
+// to BENCH_logp.json: per experiment, the audited run counts, merged
+// metrics, and violations. A healthy suite has totalViolations == 0.
+type AuditReport struct {
+	GoVersion       string        `json:"goVersion"`
+	GOOS            string        `json:"goos"`
+	GOARCH          string        `json:"goarch"`
+	Quick           bool          `json:"quick"`
+	Seed            uint64        `json:"seed"`
+	RequireAcquired bool          `json:"requireAcquired"`
+	TotalRuns       int64         `json:"totalRuns"`
+	TotalViolations int64         `json:"totalViolations"`
+	Results         []AuditResult `json:"results"`
+}
+
+// RunAudit executes the given experiments (all of them when ids is
+// empty) with the process-wide logp audit hook enabled, so every LogP
+// machine they build — including those constructed deep inside the
+// cross-simulators — streams its events through an invariant auditor.
+// sink, when non-nil, additionally receives every audited event (it
+// must be safe for concurrent use if experiments run machines in
+// parallel). The suite's policy is RequireAcquired: a delivery dropped
+// in an input buffer is a violation.
+//
+// Experiments that use only the packet-level network simulator (E1,
+// E7) build no LogP machines and report zero audited runs.
+func RunAudit(cfg Config, ids []string, sink func(logp.Event)) (*AuditReport, error) {
+	var exps []Experiment
+	if len(ids) == 0 {
+		exps = All()
+	} else {
+		for _, id := range ids {
+			e, ok := Lookup(id)
+			if !ok {
+				return nil, fmt.Errorf("bench: unknown experiment %q", id)
+			}
+			exps = append(exps, e)
+		}
+	}
+	rep := &AuditReport{
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		Quick:           cfg.Quick,
+		Seed:            cfg.Seed,
+		RequireAcquired: true,
+	}
+	logp.EnableAudit(logp.AuditConfig{RequireAcquired: true, Sink: sink})
+	defer logp.DisableAudit()
+	for _, e := range exps {
+		e.Run(cfg)
+		s := logp.TakeAuditSummary()
+		rep.TotalRuns += s.Runs
+		rep.TotalViolations += s.ViolationCount
+		rep.Results = append(rep.Results, AuditResult{ID: e.ID, Name: e.Name, Summary: s})
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path, pretty-printed.
+func (r *AuditReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render summarizes the report as an aligned table for the CLI.
+func (r *AuditReport) Render() string {
+	t := &Table{
+		ID:      "AUDIT",
+		Title:   fmt.Sprintf("streaming invariant audit (quick=%v, seed=%d, requireAcquired=%v)", r.Quick, r.Seed, r.RequireAcquired),
+		Columns: []string{"id", "runs", "messages", "stalls", "stall-cyc", "max-occ", "max-lat", "max-buf", "violations"},
+	}
+	for _, a := range r.Results {
+		m := a.Summary.Metrics
+		t.AddRow(a.ID, a.Summary.Runs, m.Messages, m.StallEvents, m.StallCycles,
+			m.MaxOccupancy, m.MaxLatency, m.MaxBufferDepth, a.Summary.ViolationCount)
+	}
+	if r.TotalViolations == 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("all invariants held across %d audited runs", r.TotalRuns))
+	} else {
+		t.Notes = append(t.Notes, fmt.Sprintf("%d VIOLATIONS across %d audited runs:", r.TotalViolations, r.TotalRuns))
+		for _, a := range r.Results {
+			for _, v := range a.Summary.Violations {
+				t.Notes = append(t.Notes, fmt.Sprintf("%s: %s", a.ID, v))
+			}
+		}
+	}
+	return t.Render()
+}

@@ -7,6 +7,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -33,13 +34,25 @@ func (t *Table) AddRow(vals ...interface{}) {
 	t.Rows = append(t.Rows, row)
 }
 
+// formatFloat picks the precision by magnitude so a value and its
+// negation render symmetrically (|x| >= 1000 as an integer, |x| >= 10
+// with one decimal, smaller with two); zero, NaN, and the infinities
+// print as themselves.
 func formatFloat(x float64) string {
 	switch {
 	case x == 0:
 		return "0"
-	case x >= 1000:
+	case math.IsNaN(x):
+		return "NaN"
+	case math.IsInf(x, 1):
+		return "+Inf"
+	case math.IsInf(x, -1):
+		return "-Inf"
+	}
+	switch abs := math.Abs(x); {
+	case abs >= 1000:
 		return fmt.Sprintf("%.0f", x)
-	case x >= 10:
+	case abs >= 10:
 		return fmt.Sprintf("%.1f", x)
 	default:
 		return fmt.Sprintf("%.2f", x)

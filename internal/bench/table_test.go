@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFormatFloatByMagnitude(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{12345.6, "12346"},
+		{-12345.6, "-12346"},
+		{1000, "1000"},
+		{-1000, "-1000"},
+		{123.45, "123.5"},
+		{-123.45, "-123.5"},
+		{10, "10.0"},
+		{-10, "-10.0"},
+		{9.876, "9.88"},
+		{-9.876, "-9.88"},
+		{0.001, "0.00"},
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

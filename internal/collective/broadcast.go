@@ -92,7 +92,14 @@ func BuildBroadcastSchedule(params logp.Params, root int) *BroadcastSchedule {
 		s.Informed[target] = arrive
 		informed++
 		heap.Push(h, senderSlot{next: slot.next + params.G, id: slot.id})
-		heap.Push(h, senderSlot{next: arrive + params.O, id: target})
+		// The target acquired at arrive-o; its first submission waits
+		// for both the o overhead (arrive+o) and the combined
+		// per-processor gap after the acquisition (arrive-o+G).
+		first := arrive + params.O
+		if g := arrive - params.O + params.G; g > first {
+			first = g
+		}
+		heap.Push(h, senderSlot{next: first, id: target})
 	}
 	return s
 }

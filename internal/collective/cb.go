@@ -104,6 +104,12 @@ func CombineBroadcastArity(mb *Mailbox, tag int32, x int64, op Op, d int) int64 
 			if p.ID()%2 == 0 {
 				offset = L
 			}
+			// A just-completed acquisition holds the combined
+			// per-processor gap until r+G, which would push a
+			// submission computed from Now()+o past its slot; idle
+			// G-o first so Now()+o is the true earliest submission
+			// instant.
+			p.WaitUntil(p.Now() + params.G - params.O)
 			now := p.Now() + params.O // earliest submission instant
 			k := (now - offset + period - 1) / period
 			if k < 0 {

@@ -96,6 +96,35 @@ type Thm2Result struct {
 	Host logp.Result
 	// GuestCosts holds the native per-superstep cost components.
 	GuestCosts []bsp.SuperstepCost
+	// Breakdown holds the measured host-side phase split of each
+	// charged superstep next to its predicted guest cost.
+	Breakdown []SuperstepBreakdown
+}
+
+// SuperstepBreakdown splits one charged superstep's host time into its
+// phases — local compute, the barrier CB, and the routing protocol —
+// each the maximum over processors, and places the guest-side
+// prediction w + g*h + l next to the measured host span, in the style
+// of the predicted-vs-measured superstep tables of the experimental
+// BSP literature.
+type SuperstepBreakdown struct {
+	// Superstep is the charged superstep's index (into GuestCosts).
+	Superstep int `json:"superstep"`
+	// H is the routed relation degree (self-sends excluded).
+	H int64 `json:"h"`
+	// Compute is the host time from the superstep's start to the
+	// barrier entry.
+	Compute int64 `json:"compute"`
+	// Barrier is the host time spent in the barrier CB.
+	Barrier int64 `json:"barrier"`
+	// Route is the host time spent in the routing protocol.
+	Route int64 `json:"route"`
+	// Predicted is the guest BSP charge w + g*h + l for this
+	// superstep.
+	Predicted int64 `json:"predicted"`
+	// Measured is the host time from the superstep's start to the end
+	// of routing.
+	Measured int64 `json:"measured"`
 }
 
 // Slowdown returns HostTime/GuestTime, the quantity Theorem 2 bounds
@@ -161,6 +190,7 @@ func (s *BSPOnLogP) Run(prog bsp.Program) (Thm2Result, error) {
 		MessagesRouted: sim.routedMsgs,
 		SuperstepH:     sim.stepH,
 		GuestCosts:     sim.guestCosts,
+		Breakdown:      sim.breakdowns,
 	}
 	for _, c := range sim.guestCosts {
 		res.GuestTime += c.Time(guest)
@@ -185,6 +215,7 @@ type bspSim struct {
 
 	guestCosts []bsp.SuperstepCost
 	stepH      []int64
+	breakdowns []SuperstepBreakdown
 	routedMsgs int64
 	colScheds  map[int]*columnSched
 }
@@ -203,6 +234,12 @@ type stepState struct {
 	maxOut   int64
 	indeg    []int64
 	classOf  [][]int // offline: routing cycle of each routed item
+
+	// Host-side phase maxima across processors, for the breakdown.
+	computeMax  int64
+	barrierMax  int64
+	routeMax    int64
+	measuredMax int64
 }
 
 func (sim *bspSim) step(k int) *stepState {
@@ -308,6 +345,15 @@ func (sim *bspSim) finishStep(k int) {
 	if cost.W > 0 || cost.H > 0 {
 		sim.guestCosts = append(sim.guestCosts, cost)
 		sim.stepH = append(sim.stepH, st.h)
+		sim.breakdowns = append(sim.breakdowns, SuperstepBreakdown{
+			Superstep: len(sim.guestCosts) - 1,
+			H:         st.h,
+			Compute:   st.computeMax,
+			Barrier:   st.barrierMax,
+			Route:     st.routeMax,
+			Predicted: cost.Time(sim.guest),
+			Measured:  st.measuredMax,
+		})
 	}
 	for i := 0; i < sim.lp.P; i++ {
 		sim.routedMsgs += int64(len(st.outRouted[i]))
@@ -327,6 +373,7 @@ type bspAdapter struct {
 	outbox   []bsp.Message
 	inbox    []bsp.Message
 	inboxPos int
+	lastSync int64 // host clock when the previous superstep ended
 }
 
 var _ bsp.Proc = (*bspAdapter)(nil)
@@ -379,7 +426,9 @@ func (a *bspAdapter) barrierAndRoute(finished bool) (allDone bool) {
 	if finished {
 		flag = 1
 	}
+	barrierEntry := a.lp.Now()
 	done := collective.CombineBroadcast(a.mb, tagBarrier, flag, collective.OpAnd)
+	barrierExit := a.lp.Now()
 
 	st := a.sim.step(a.step)
 	dtag := dataTag(a.step)
@@ -394,6 +443,20 @@ func (a *bspAdapter) barrierAndRoute(finished bool) (allDone bool) {
 	default:
 		panic("core: unknown router")
 	}
+	routeExit := a.lp.Now()
+	if d := barrierEntry - a.lastSync; d > st.computeMax {
+		st.computeMax = d
+	}
+	if d := barrierExit - barrierEntry; d > st.barrierMax {
+		st.barrierMax = d
+	}
+	if d := routeExit - barrierExit; d > st.routeMax {
+		st.routeMax = d
+	}
+	if d := routeExit - a.lastSync; d > st.measuredMax {
+		st.measuredMax = d
+	}
+	a.lastSync = routeExit
 
 	inbox := make([]bsp.Message, 0, len(received)+len(st.outSelf[id]))
 	for _, m := range received {
@@ -434,8 +497,11 @@ func alignSlack(params logp.Params) int64 {
 		levels++
 	}
 	perLevel := 2*(params.L+2*params.O) + 2*int64(d)*params.G
+	// The combined per-processor gap can delay a node's first send
+	// after its last acquisition by G rather than o, once per direction.
+	perLevel += 2 * params.G
 	if params.Capacity() == 1 {
-		perLevel += 2 * params.L
+		perLevel += 2*params.L + params.G
 	}
 	return levels*perLevel + 2*params.L + 4*params.O
 }
@@ -481,7 +547,15 @@ func (a *bspAdapter) deliverWindowed(sched map[int64]bsp.Message, h, base int64,
 			lp.SendBody(item.Dst, dtag, item.Payload, item.Aux, item)
 		}
 		next := slot + params.G
-		for lp.Buffered() > 0 && lp.Now()+2*params.O <= next {
+		// An opportunistic acquisition at r holds the combined
+		// per-processor gap until r+G and the local clock until r+o,
+		// so it is admissible only while both leave the next pinned
+		// submission on its grid slot.
+		margin := 2 * params.O
+		if params.G > margin {
+			margin = params.G
+		}
+		for lp.Buffered() > 0 && lp.Now()+margin <= next {
 			if m, ok := lp.TryRecv(); ok {
 				classify(m)
 			}

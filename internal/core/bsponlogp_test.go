@@ -595,3 +595,56 @@ func TestSlowdownZeroGuest(t *testing.T) {
 		t.Fatal("zero guest time should give slowdown 1")
 	}
 }
+
+// TestThm2SuperstepBreakdown checks the per-superstep phase split the
+// cross-simulation reports: one entry per charged superstep, phases
+// summing to the measured span, and the guest-side prediction
+// w + g*h + l matching the charged cost.
+func TestThm2SuperstepBreakdown(t *testing.T) {
+	outs := make([][]int64, 8)
+	sim := &BSPOnLogP{
+		LogP:            logp.Params{P: 8, L: 16, O: 1, G: 2},
+		Router:          RouterDeterministic,
+		StrictStallFree: true,
+	}
+	res, err := sim.Run(exchangeProgram(outs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Breakdown) != res.Supersteps {
+		t.Fatalf("%d breakdown entries for %d supersteps", len(res.Breakdown), res.Supersteps)
+	}
+	guest := sim.guestParams()
+	var measuredSum int64
+	for i, b := range res.Breakdown {
+		if b.Superstep != i {
+			t.Fatalf("entry %d labelled superstep %d", i, b.Superstep)
+		}
+		if b.H != res.SuperstepH[i] {
+			t.Fatalf("superstep %d: breakdown h %d, SuperstepH %d", i, b.H, res.SuperstepH[i])
+		}
+		if want := res.GuestCosts[i].Time(guest); b.Predicted != want {
+			t.Fatalf("superstep %d: predicted %d, guest cost %d", i, b.Predicted, want)
+		}
+		if b.Compute < 0 || b.Barrier <= 0 || b.Route < 0 {
+			t.Fatalf("superstep %d: non-positive phase in %+v", i, b)
+		}
+		// Each phase maximum and the measured span are taken over
+		// processors independently: the span dominates every single
+		// phase, and the sum of phase maxima dominates the span.
+		for _, phase := range []int64{b.Compute, b.Barrier, b.Route} {
+			if b.Measured < phase {
+				t.Fatalf("superstep %d: measured %d below a phase in %+v", i, b.Measured, b)
+			}
+		}
+		if b.Measured > b.Compute+b.Barrier+b.Route {
+			t.Fatalf("superstep %d: measured %d exceeds phase sum in %+v", i, b.Measured, b)
+		}
+		measuredSum += b.Measured
+	}
+	// Charged supersteps are consecutive host phases, so their spans
+	// cannot exceed the host completion time in total.
+	if measuredSum > res.HostTime {
+		t.Fatalf("breakdown spans sum to %d, host time %d", measuredSum, res.HostTime)
+	}
+}

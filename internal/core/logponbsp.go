@@ -176,12 +176,14 @@ type cycleEngine struct {
 }
 
 type cycleProc struct {
-	id      int
-	eng     *cycleEngine
-	clock   int64
-	nextSub int64
-	nextAcq int64
-	buf     []cycleArrived
+	id    int
+	eng   *cycleEngine
+	clock int64
+	// nextComm is the earliest instant of the next communication
+	// operation: submissions and acquisitions share one per-processor
+	// gap stream, as in the logp engine.
+	nextComm int64
+	buf      []cycleArrived
 	state   cycleState
 	pending cycleReq
 	req     chan cycleReq
@@ -455,10 +457,10 @@ func (e *cycleEngine) exec(p *cycleProc) {
 		e.resume(p, cycleRes{n: n})
 	case cycleSend:
 		s := p.clock + e.lp.O
-		if s < p.nextSub {
-			s = p.nextSub
+		if s < p.nextComm {
+			s = p.nextComm
 		}
-		p.nextSub = s + e.lp.G
+		p.nextComm = s + e.lp.G
 		p.clock = s
 		cycle := s / e.cycleLen
 		arrival := (cycle + 1) * e.cycleLen
@@ -492,12 +494,12 @@ func (e *cycleEngine) exec(p *cycleProc) {
 			p.state = cycleWaitMsg
 		}
 	case cycleTryRecv:
-		if len(p.buf) > 0 && p.buf[0].at <= p.clock && p.nextAcq <= p.clock {
+		if len(p.buf) > 0 && p.buf[0].at <= p.clock && p.nextComm <= p.clock {
 			head := p.buf[0]
 			p.buf = p.buf[1:]
 			r := p.clock
 			p.clock = r + e.lp.O
-			p.nextAcq = r + e.lp.G
+			p.nextComm = r + e.lp.G
 			e.resume(p, cycleRes{msg: head.msg, ok: true})
 		} else {
 			p.clock++
@@ -515,11 +517,11 @@ func (e *cycleEngine) completeRecv(p *cycleProc) {
 	if head.at > r {
 		r = head.at
 	}
-	if p.nextAcq > r {
-		r = p.nextAcq
+	if p.nextComm > r {
+		r = p.nextComm
 	}
 	p.clock = r + e.lp.O
-	p.nextAcq = r + e.lp.G
+	p.nextComm = r + e.lp.G
 	p.state = cycleReady
 	e.resume(p, cycleRes{msg: head.msg, ok: true})
 }

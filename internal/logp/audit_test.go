@@ -1,0 +1,237 @@
+package logp
+
+import (
+	"strings"
+	"testing"
+)
+
+// combinedGapViolation is a hand-written trace in which processor 0
+// acquires a message at t=3 and submits its own at t=5 — only 2 apart
+// with G=4. The per-stream checks the old CheckTrace used (submission
+// gap keyed by Msg.Src, acquisition gap keyed by Msg.Dst) each see a
+// single operation and pass; the paper's Section 2 definition makes
+// them one sequence of communication operations and rejects it.
+var combinedGapParams = Params{P: 2, L: 8, O: 1, G: 4}
+
+var combinedGapTrace = []Event{
+	{Time: 1, Kind: EvSubmit, Seq: 1, Msg: Message{Src: 1, Dst: 0}},
+	{Time: 1, Kind: EvAccept, Seq: 1, Msg: Message{Src: 1, Dst: 0}},
+	{Time: 3, Kind: EvDeliver, Seq: 1, Msg: Message{Src: 1, Dst: 0}},
+	{Time: 3, Kind: EvAcquire, Seq: 1, Msg: Message{Src: 1, Dst: 0}},
+	{Time: 5, Kind: EvSubmit, Seq: 2, Msg: Message{Src: 0, Dst: 1}},
+	{Time: 5, Kind: EvAccept, Seq: 2, Msg: Message{Src: 0, Dst: 1}},
+	{Time: 7, Kind: EvDeliver, Seq: 2, Msg: Message{Src: 0, Dst: 1}},
+	{Time: 12, Kind: EvAcquire, Seq: 2, Msg: Message{Src: 0, Dst: 1}},
+}
+
+func TestCheckTraceCatchesCombinedGapViolation(t *testing.T) {
+	err := CheckTrace(combinedGapParams, combinedGapTrace)
+	if err == nil {
+		t.Fatal("CheckTrace accepted a submission 2 cycles after an acquisition with G=4")
+	}
+	if !strings.Contains(err.Error(), "communication operations") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestAuditorCatchesCombinedGapViolation(t *testing.T) {
+	a := NewAuditor(combinedGapParams, TraceOptions{})
+	for _, ev := range combinedGapTrace {
+		a.Observe(ev)
+	}
+	err := a.Finish(Result{
+		LastDelivery: 7, MessagesSent: 2, MaxBufferDepth: 1,
+	})
+	if err == nil {
+		t.Fatal("Auditor accepted a submission 2 cycles after an acquisition with G=4")
+	}
+	if !strings.Contains(err.Error(), "communication operations") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if a.ViolationCount() != 1 {
+		t.Fatalf("ViolationCount = %d, want 1: %v", a.ViolationCount(), a.Violations())
+	}
+}
+
+// unacquiredTrace delivers one message that the program never acquires.
+var unacquiredParams = Params{P: 2, L: 8, O: 1, G: 2}
+
+var unacquiredTrace = []Event{
+	{Time: 1, Kind: EvSubmit, Seq: 1, Msg: Message{Src: 0, Dst: 1}},
+	{Time: 1, Kind: EvAccept, Seq: 1, Msg: Message{Src: 0, Dst: 1}},
+	{Time: 9, Kind: EvDeliver, Seq: 1, Msg: Message{Src: 0, Dst: 1}},
+}
+
+func TestCheckTraceRequireAcquiredPolicy(t *testing.T) {
+	if err := CheckTrace(unacquiredParams, unacquiredTrace); err != nil {
+		t.Fatalf("default policy should accept an unacquired delivery: %v", err)
+	}
+	err := CheckTraceOpts(unacquiredParams, unacquiredTrace, TraceOptions{RequireAcquired: true})
+	if err == nil {
+		t.Fatal("RequireAcquired accepted a delivered-but-never-acquired message")
+	}
+	if !strings.Contains(err.Error(), "never acquired") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestAuditorRequireAcquiredPolicy(t *testing.T) {
+	res := Result{LastDelivery: 9, MessagesSent: 1, MaxBufferDepth: 1}
+	lax := NewAuditor(unacquiredParams, TraceOptions{})
+	for _, ev := range unacquiredTrace {
+		lax.Observe(ev)
+	}
+	if err := lax.Finish(res); err != nil {
+		t.Fatalf("default policy should accept an unacquired delivery: %v", err)
+	}
+	strict := NewAuditor(unacquiredParams, TraceOptions{RequireAcquired: true})
+	for _, ev := range unacquiredTrace {
+		strict.Observe(ev)
+	}
+	err := strict.Finish(res)
+	if err == nil {
+		t.Fatal("RequireAcquired accepted a delivered-but-never-acquired message")
+	}
+	if !strings.Contains(err.Error(), "never acquired") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// busyProgram exercises stalls, buffering, and mixed send/receive
+// roles: everyone floods processor 0, which acquires everything.
+func busyProgram(p Proc) {
+	const rounds = 6
+	if p.ID() == 0 {
+		for i := 0; i < rounds*(p.P()-1); i++ {
+			p.Recv()
+		}
+		return
+	}
+	for k := 0; k < rounds; k++ {
+		p.Send(0, 1, int64(k), 0)
+	}
+}
+
+func TestAuditorCleanOnEngineRun(t *testing.T) {
+	params := Params{P: 6, L: 9, O: 2, G: 3}
+	for _, policy := range []DeliveryPolicy{DeliverMaxLatency, DeliverMinLatency, DeliverRandom} {
+		a := NewAuditor(params, TraceOptions{RequireAcquired: true})
+		m := NewMachine(params, WithDeliveryPolicy(policy), WithSeed(7), WithEventLog(a.Observe))
+		res, err := m.Run(busyProgram)
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if err := a.Finish(res); err != nil {
+			t.Fatalf("%v: auditor rejected an engine run: %v (all: %v)", policy, err, a.Violations())
+		}
+		got := a.Metrics()
+		if got.Messages != res.MessagesSent || got.StallEvents != res.StallEvents ||
+			got.StallCycles != res.StallCycles || got.Acquired != got.Delivered ||
+			got.Delivered != res.MessagesSent {
+			t.Fatalf("%v: metrics %+v inconsistent with result %+v", policy, got, res)
+		}
+		if res.StallEvents == 0 {
+			t.Fatalf("%v: workload was meant to stall (hot spot exceeds capacity)", policy)
+		}
+		if got.MaxOccupancy != params.Capacity() {
+			t.Fatalf("%v: MaxOccupancy = %d, want the full capacity %d under a hot spot", policy, got.MaxOccupancy, params.Capacity())
+		}
+		var histTotal int64
+		for _, c := range got.LatencyHist {
+			histTotal += c
+		}
+		if histTotal != got.Delivered {
+			t.Fatalf("%v: latency histogram sums to %d, delivered %d", policy, histTotal, got.Delivered)
+		}
+	}
+}
+
+func TestAuditorDetectsInconsistentResult(t *testing.T) {
+	params := Params{P: 2, L: 8, O: 1, G: 2}
+	a := NewAuditor(params, TraceOptions{})
+	m := NewMachine(params, WithEventLog(a.Observe))
+	res, err := m.Run(pingProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.StallCycles += 3 // claim stall time the trace does not show
+	if err := a.Finish(res); err == nil {
+		t.Fatal("auditor accepted a Result whose stall cycles the trace contradicts")
+	}
+}
+
+func TestEnableAuditCoversEveryRun(t *testing.T) {
+	EnableAudit(AuditConfig{RequireAcquired: true})
+	defer DisableAudit()
+
+	params := Params{P: 4, L: 8, O: 1, G: 2}
+	m := NewMachine(params, WithSeed(3))
+	var res Result
+	var err error
+	for i := 0; i < 2; i++ {
+		if res, err = m.Run(busyProgram); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := TakeAuditSummary()
+	if s.Runs != 2 {
+		t.Fatalf("Runs = %d, want 2", s.Runs)
+	}
+	if s.ViolationCount != 0 {
+		t.Fatalf("violations on a clean run: %v", s.Violations)
+	}
+	if want := 2 * res.MessagesSent; s.Metrics.Messages != want {
+		t.Fatalf("aggregate Messages = %d, want %d", s.Metrics.Messages, want)
+	}
+	if s.Metrics.ProcStallCycles != nil || s.Metrics.OccupancyHighWater != nil {
+		t.Fatal("aggregate metrics must drop per-processor slices")
+	}
+
+	// After Take, the aggregate starts fresh.
+	if again := TakeAuditSummary(); again.Runs != 0 {
+		t.Fatalf("summary not reset: %+v", again)
+	}
+}
+
+func TestAuditSummaryRecordsViolations(t *testing.T) {
+	EnableAudit(AuditConfig{RequireAcquired: true})
+	defer DisableAudit()
+
+	params := Params{P: 2, L: 8, O: 1, G: 2}
+	m := NewMachine(params)
+	// Processor 1 never receives: the delivery stays in its buffer.
+	if _, err := m.Run(func(p Proc) {
+		if p.ID() == 0 {
+			p.Send(1, 7, 42, 0)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := TakeAuditSummary()
+	if s.ViolationCount == 0 {
+		t.Fatal("dropped delivery not flagged under RequireAcquired")
+	}
+	if len(s.Violations) == 0 || !strings.Contains(s.Violations[0], "never acquired") {
+		t.Fatalf("unexpected violations: %v", s.Violations)
+	}
+}
+
+func TestAuditorMetricsDeterministic(t *testing.T) {
+	params := Params{P: 5, L: 12, O: 1, G: 3}
+	collect := func() Metrics {
+		a := NewAuditor(params, TraceOptions{RequireAcquired: true})
+		m := NewMachine(params, WithSeed(11), WithDeliveryPolicy(DeliverRandom), WithEventLog(a.Observe))
+		res, err := m.Run(busyProgram)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Finish(res); err != nil {
+			t.Fatal(err)
+		}
+		return *a.Metrics()
+	}
+	m1, m2 := collect(), collect()
+	if m1.Events != m2.Events || m1.SumLatency != m2.SumLatency || m1.MaxLatency != m2.MaxLatency {
+		t.Fatalf("same seed produced different metrics:\n%+v\n%+v", m1, m2)
+	}
+}

@@ -142,6 +142,7 @@ type Machine struct {
 	strictStallFree bool
 	acceptOrder     AcceptOrder
 	eventLog        func(Event)
+	auditor         *Auditor // per-run, when the process-wide audit hook is on
 	msgSeq          int64
 
 	rng   *stats.RNG
@@ -318,6 +319,15 @@ func (m *Machine) Run(prog Program) (Result, error) {
 			res.Time = p.clock
 		}
 	}
+	if m.auditor != nil {
+		// A panicked processor strands messages mid-lifecycle; audit
+		// only runs that completed, so the summary reflects the model,
+		// not the crash.
+		if m.procErr == nil {
+			finishRunAudit(m.auditor, res)
+		}
+		m.auditor = nil
+	}
 	if m.procErr != nil {
 		return res, m.procErr
 	}
@@ -372,6 +382,7 @@ func (m *Machine) reset() {
 	m.simEvents = 0
 	m.procErr = nil
 	m.msgSeq = 0
+	m.auditor = newRunAuditor(m.params)
 }
 
 // slotTaken reports whether delivery instant d is reserved at dst.
@@ -392,8 +403,13 @@ func (m *Machine) releaseSlot(dst int, d int64) {
 	m.slotBits[dst*m.slotWords+idx>>6] &^= 1 << uint(idx&63)
 }
 
-// emit forwards ev to the installed event sink, if any.
+// emit forwards ev to the run's auditor and the installed event sink,
+// if any. With auditing off and no sink this is two nil checks — the
+// hot path stays free.
 func (m *Machine) emit(ev Event) {
+	if m.auditor != nil {
+		m.auditor.Observe(ev)
+	}
 	if m.eventLog != nil {
 		m.eventLog(ev)
 	}
@@ -531,10 +547,10 @@ func (m *Machine) exec(p *proc) {
 
 	case opSend:
 		s := p.clock + m.params.O
-		if s < p.nextSub {
-			s = p.nextSub
+		if s < p.nextComm {
+			s = p.nextComm
 		}
-		p.nextSub = s + m.params.G
+		p.nextComm = s + m.params.G
 		p.clock = s
 		p.state = stateWaitAccept
 		m.totalMsgs++
@@ -550,12 +566,12 @@ func (m *Machine) exec(p *proc) {
 		}
 
 	case opTryRecv:
-		if len(p.buf) > 0 && p.buf[0].at <= p.clock && p.nextAcq <= p.clock {
+		if len(p.buf) > 0 && p.buf[0].at <= p.clock && p.nextComm <= p.clock {
 			head := p.popBuf()
 			r := p.clock
 			m.emit(Event{Time: r, Kind: EvAcquire, Seq: head.msgID, Msg: head.msg})
 			p.clock = r + m.params.O
-			p.nextAcq = r + m.params.G
+			p.nextComm = r + m.params.G
 			p.recvd++
 			m.resume(p, response{msg: head.msg, ok: true})
 		} else {
@@ -576,12 +592,12 @@ func (m *Machine) completeRecv(p *proc) {
 	if head.at > r {
 		r = head.at
 	}
-	if p.nextAcq > r {
-		r = p.nextAcq
+	if p.nextComm > r {
+		r = p.nextComm
 	}
 	m.emit(Event{Time: r, Kind: EvAcquire, Seq: head.msgID, Msg: head.msg})
 	p.clock = r + m.params.O
-	p.nextAcq = r + m.params.G
+	p.nextComm = r + m.params.G
 	p.recvd++
 	p.state = stateReady
 	m.resume(p, response{msg: head.msg, ok: true})

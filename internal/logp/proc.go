@@ -115,9 +115,14 @@ type proc struct {
 	id int
 	m  *Machine
 
-	clock   int64 // local time
-	nextSub int64 // earliest permitted next submission instant
-	nextAcq int64 // earliest permitted next acquisition instant
+	clock int64 // local time
+	// nextComm is the earliest instant at which this processor may
+	// perform its next communication operation. Submissions and
+	// acquisitions share the single per-processor gap stream of the
+	// paper's Section 2 definition: at least G cycles must separate
+	// *any* two consecutive communication operations by the same
+	// processor, not merely two submissions or two acquisitions.
+	nextComm int64
 
 	buf []arrived // input buffer, FIFO in delivery order
 

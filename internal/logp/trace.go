@@ -71,14 +71,25 @@ func WithEventLog(fn func(Event)) Option {
 	return func(m *Machine) { m.eventLog = fn }
 }
 
+// TraceOptions selects optional end-state policies for CheckTrace.
+type TraceOptions struct {
+	// RequireAcquired makes the end-of-trace sweep reject messages
+	// that were delivered into the destination's input buffer but
+	// never acquired by the program. Off by default: a program is
+	// free to terminate with unread buffered messages, but the
+	// audited experiment suite turns this on so dropped deliveries
+	// cannot pass silently.
+	RequireAcquired bool
+}
+
 // CheckTrace validates the LogP model invariants over a completed
 // run's event stream:
 //
 //   - every message's events appear in submit/accept/deliver order,
 //     with acquire (if the program received it) last;
 //   - delivery happens within (accept, accept+L];
-//   - consecutive submission instants of one processor are >= G apart,
-//     as are consecutive acquisition instants;
+//   - consecutive communication operations (submissions and
+//     acquisitions combined) of one processor are >= G apart;
 //   - at any instant at most Capacity() accepted-but-undelivered
 //     messages target one destination;
 //   - at most one message is delivered per destination per instant.
@@ -92,6 +103,11 @@ func WithEventLog(fn func(Event)) Option {
 // follow the model's evaluation order: deliveries free capacity before
 // submissions queue and acceptances take slots.
 func CheckTrace(params Params, events []Event) error {
+	return CheckTraceOpts(params, events, TraceOptions{})
+}
+
+// CheckTraceOpts is CheckTrace with an explicit end-state policy.
+func CheckTraceOpts(params Params, events []Event, opts TraceOptions) error {
 	sorted := append([]Event(nil), events...)
 	rank := func(k EventKind) int {
 		switch k {
@@ -118,8 +134,17 @@ func CheckTrace(params Params, events []Event) error {
 		stage                   int
 	}
 	msgs := map[int64]*msgState{}
-	lastSub := map[int]int64{}
-	lastAcq := map[int]int64{}
+	// One gap stream per processor: submissions (as source) and
+	// acquisitions (as destination) are a single sequence of
+	// communication operations, any two consecutive ones >= G apart.
+	lastComm := map[int]int64{}
+	commGap := func(i int, proc int, t int64, kind EventKind) error {
+		if prev, ok := lastComm[proc]; ok && t-prev < params.G {
+			return fmt.Errorf("event %d: processor %d communication operations %d apart at %s, gap %d required", i, proc, t-prev, kind, params.G)
+		}
+		lastComm[proc] = t
+		return nil
+	}
 	inTransit := map[int]int64{}
 	lastDeliver := map[int]int64{}
 
@@ -131,10 +156,9 @@ func CheckTrace(params Params, events []Event) error {
 				return fmt.Errorf("event %d: message %d submitted twice", i, ev.Seq)
 			}
 			msgs[ev.Seq] = &msgState{submit: ev.Time, stage: 1}
-			if prev, ok := lastSub[ev.Msg.Src]; ok && ev.Time-prev < params.G {
-				return fmt.Errorf("event %d: processor %d submissions %d apart, gap %d required", i, ev.Msg.Src, ev.Time-prev, params.G)
+			if err := commGap(i, ev.Msg.Src, ev.Time, ev.Kind); err != nil {
+				return err
 			}
-			lastSub[ev.Msg.Src] = ev.Time
 		case EvAccept:
 			if st == nil || st.stage != 1 {
 				return fmt.Errorf("event %d: message %d accepted out of order", i, ev.Seq)
@@ -169,16 +193,18 @@ func CheckTrace(params Params, events []Event) error {
 			if ev.Time < st.deliver {
 				return fmt.Errorf("event %d: message %d acquired before delivery", i, ev.Seq)
 			}
-			if prev, ok := lastAcq[ev.Msg.Dst]; ok && ev.Time-prev < params.G {
-				return fmt.Errorf("event %d: processor %d acquisitions %d apart, gap %d required", i, ev.Msg.Dst, ev.Time-prev, params.G)
+			if err := commGap(i, ev.Msg.Dst, ev.Time, ev.Kind); err != nil {
+				return err
 			}
-			lastAcq[ev.Msg.Dst] = ev.Time
 			st.stage = 4
 		}
 	}
 	for seq, st := range msgs {
 		if st.stage < 3 {
 			return fmt.Errorf("message %d never delivered (stage %d)", seq, st.stage)
+		}
+		if opts.RequireAcquired && st.stage == 3 {
+			return fmt.Errorf("message %d delivered but never acquired", seq)
 		}
 	}
 	return nil

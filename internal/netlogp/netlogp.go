@@ -148,12 +148,14 @@ type narrived struct {
 }
 
 type nproc struct {
-	id      int
-	eng     *engine
-	clock   int64
-	nextSub int64
-	nextAcq int64
-	buf     []narrived
+	id    int
+	eng   *engine
+	clock int64
+	// nextComm is the earliest instant of the next communication
+	// operation: submissions and acquisitions share one per-processor
+	// gap stream, as in the logp engine.
+	nextComm int64
+	buf      []narrived
 	state   nstate
 	pending nreq
 	req     chan nreq
@@ -393,10 +395,10 @@ func (e *engine) exec(p *nproc) {
 		e.resume(p, nres{n: cnt})
 	case nSend:
 		s := p.clock + e.params.O
-		if s < p.nextSub {
-			s = p.nextSub
+		if s < p.nextComm {
+			s = p.nextComm
 		}
-		p.nextSub = s + e.params.G
+		p.nextComm = s + e.params.G
 		p.clock = s
 		e.msgSeq++
 		e.totalMsgs++
@@ -409,12 +411,12 @@ func (e *engine) exec(p *nproc) {
 			p.state = nWaitMsg
 		}
 	case nTryRecv:
-		if len(p.buf) > 0 && p.buf[0].at <= p.clock && p.nextAcq <= p.clock {
+		if len(p.buf) > 0 && p.buf[0].at <= p.clock && p.nextComm <= p.clock {
 			head := p.buf[0]
 			p.buf = p.buf[1:]
 			r := p.clock
 			p.clock = r + e.params.O
-			p.nextAcq = r + e.params.G
+			p.nextComm = r + e.params.G
 			e.resume(p, nres{msg: head.msg, ok: true})
 		} else {
 			p.clock++
@@ -432,11 +434,11 @@ func (e *engine) completeRecv(p *nproc) {
 	if head.at > r {
 		r = head.at
 	}
-	if p.nextAcq > r {
-		r = p.nextAcq
+	if p.nextComm > r {
+		r = p.nextComm
 	}
 	p.clock = r + e.params.O
-	p.nextAcq = r + e.params.G
+	p.nextComm = r + e.params.G
 	p.state = nReady
 	e.resume(p, nres{msg: head.msg, ok: true})
 }
