@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test race audit audit-report bench bench-smoke bench-netsim bench-report experiments examples cover clean
+.PHONY: all test race fuzz audit audit-report bench bench-smoke bench-netsim bench-report bench-diff experiments examples cover clean
 
 all: test
 
@@ -12,6 +12,11 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Differential fuzzing of the LogP fast path against the WithSlowPath
+# oracle (identical Results, traces, and audit metrics).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzFastPathEquivalence -fuzztime 20s ./internal/logp/
 
 # Run the quick experiment suite under the streaming LogP invariant
 # auditor; fails on any model-invariant violation (see EXPERIMENTS.md).
@@ -33,8 +38,15 @@ bench-netsim:
 	$(GO) test -run '^$$' -bench 'BenchmarkRoute|BenchmarkStepper|BenchmarkMeasureGL' -benchtime 1000x -benchmem ./internal/netsim/
 
 # Regenerate the checked-in BENCH_logp.json (see EXPERIMENTS.md).
+# Median of 5 repetitions smooths scheduler noise out of the report.
 bench-report:
-	$(GO) run ./cmd/bsplogp -bench -quick -benchout BENCH_logp.json
+	$(GO) run ./cmd/bsplogp -bench -quick -benchcount 5 -benchout BENCH_logp.json
+
+# Compare a fresh benchmark run against the checked-in report; exits
+# nonzero when any experiment's wall time regresses more than 20%.
+bench-diff:
+	$(GO) run ./cmd/bsplogp -bench -quick -benchcount 3 -benchout /tmp/BENCH_new.json
+	$(GO) run ./cmd/bsplogp -benchdiff BENCH_logp.json /tmp/BENCH_new.json
 
 # Regenerate the checked-in AUDIT_logp.json (see EXPERIMENTS.md).
 audit-report:

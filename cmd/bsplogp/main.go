@@ -8,7 +8,8 @@
 //	bsplogp -list
 //	bsplogp -experiment E3 [-quick] [-seed 1]
 //	bsplogp -all [-quick]
-//	bsplogp -bench [-experiment E3] [-quick] [-benchout BENCH_logp.json]
+//	bsplogp -bench [-experiment E3] [-quick] [-benchcount 5] [-benchout BENCH_logp.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	bsplogp -benchdiff old.json new.json [-threshold 0.2]
 //	bsplogp -audit [-experiment E3] [-quick] [-auditout AUDIT_logp.json] [-trace trace.jsonl]
 package main
 
@@ -19,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -35,16 +38,21 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("bsplogp", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		id       = fs.String("experiment", "", "experiment id to run (E1..E13, A1..A6); empty with -all runs everything")
-		all      = fs.Bool("all", false, "run every experiment")
-		list     = fs.Bool("list", false, "list experiments and exit")
-		quick    = fs.Bool("quick", false, "shrink processor counts and trials")
-		seed     = fs.Uint64("seed", 1, "random seed")
-		doBench  = fs.Bool("bench", false, "benchmark experiments (all, or the one given by -experiment) and write a JSON report")
-		benchOut = fs.String("benchout", "BENCH_logp.json", "path of the JSON report written by -bench")
-		doAudit  = fs.Bool("audit", false, "run experiments (all, or the one given by -experiment) under the streaming LogP invariant auditor; nonzero exit on any violation")
-		auditOut = fs.String("auditout", "AUDIT_logp.json", "path of the JSON report written by -audit")
-		traceOut = fs.String("trace", "", "with -audit: also write every audited event to this JSONL file")
+		id         = fs.String("experiment", "", "experiment id to run (E1..E13, A1..A6); empty with -all runs everything")
+		all        = fs.Bool("all", false, "run every experiment")
+		list       = fs.Bool("list", false, "list experiments and exit")
+		quick      = fs.Bool("quick", false, "shrink processor counts and trials")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		doBench    = fs.Bool("bench", false, "benchmark experiments (all, or the one given by -experiment) and write a JSON report")
+		benchOut   = fs.String("benchout", "BENCH_logp.json", "path of the JSON report written by -bench")
+		benchCount = fs.Int("benchcount", 1, "with -bench: repetitions per experiment; the report carries the median wall time")
+		cpuProfile = fs.String("cpuprofile", "", "with -bench: write a CPU profile of the benchmark runs to this file")
+		memProfile = fs.String("memprofile", "", "with -bench: write an allocation profile taken after the benchmark runs to this file")
+		benchDiff  = fs.Bool("benchdiff", false, "compare two -bench JSON reports given as positional args (old.json new.json); nonzero exit if any experiment regresses past -threshold")
+		threshold  = fs.Float64("threshold", 0.2, "with -benchdiff: tolerated fractional wall-time regression; negative disables the nonzero exit (informational)")
+		doAudit    = fs.Bool("audit", false, "run experiments (all, or the one given by -experiment) under the streaming LogP invariant auditor; nonzero exit on any violation")
+		auditOut   = fs.String("auditout", "AUDIT_logp.json", "path of the JSON report written by -audit")
+		traceOut   = fs.String("trace", "", "with -audit: also write every audited event to this JSONL file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -61,6 +69,31 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 
 	cfg := bench.Config{Quick: *quick, Seed: *seed}
+
+	if *benchDiff {
+		paths := fs.Args()
+		if len(paths) != 2 {
+			fmt.Fprintln(errOut, "bsplogp: -benchdiff needs exactly two positional args: old.json new.json")
+			return 2
+		}
+		oldRep, err := bench.ReadJSON(paths[0])
+		if err != nil {
+			fmt.Fprintf(errOut, "bsplogp: %v\n", err)
+			return 2
+		}
+		newRep, err := bench.ReadJSON(paths[1])
+		if err != nil {
+			fmt.Fprintf(errOut, "bsplogp: %v\n", err)
+			return 2
+		}
+		d := bench.Diff(oldRep, newRep, *threshold)
+		fmt.Fprintln(out, d.Render())
+		if d.Regressed {
+			fmt.Fprintf(errOut, "bsplogp: benchmark regression past threshold %.2f\n", *threshold)
+			return 1
+		}
+		return 0
+	}
 
 	if *doAudit {
 		var ids []string
@@ -113,10 +146,40 @@ func run(args []string, out, errOut io.Writer) int {
 		if *id != "" {
 			ids = []string{*id}
 		}
-		rep, err := bench.RunBench(cfg, ids)
+		if *cpuProfile != "" {
+			f, err := os.Create(*cpuProfile)
+			if err != nil {
+				fmt.Fprintf(errOut, "bsplogp: %v\n", err)
+				return 1
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fmt.Fprintf(errOut, "bsplogp: starting CPU profile: %v\n", err)
+				f.Close()
+				return 1
+			}
+			defer func() {
+				pprof.StopCPUProfile()
+				f.Close()
+			}()
+		}
+		rep, err := bench.RunBench(cfg, ids, *benchCount)
 		if err != nil {
 			fmt.Fprintf(errOut, "bsplogp: %v; use -list\n", err)
 			return 2
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(errOut, "bsplogp: %v\n", err)
+				return 1
+			}
+			runtime.GC() // flush allocation records so the profile covers the whole run
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(errOut, "bsplogp: writing heap profile: %v\n", err)
+				f.Close()
+				return 1
+			}
+			f.Close()
 		}
 		fmt.Fprintln(out, rep.Render())
 		if err := rep.WriteJSON(*benchOut); err != nil {

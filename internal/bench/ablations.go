@@ -117,11 +117,13 @@ func A3BatchFactor(cfg Config) *Table {
 	h := pCount / 2
 	rng := stats.NewRNG(cfg.Seed)
 	rel := relation.RandomRegular(rng, pCount, h)
+	sim := &core.BSPOnLogP{LogP: lp, Router: core.RouterRandomized}
 	for _, beta := range []float64{0.25, 0.5, 1, 2, 4} {
 		var worst int64
 		var stalls int64
 		for s := 0; s < seeds; s++ {
-			sim := &core.BSPOnLogP{LogP: lp, Router: core.RouterRandomized, Seed: cfg.Seed + uint64(s), Beta: beta}
+			sim.Seed = cfg.Seed + uint64(s)
+			sim.Beta = beta
 			res, err := sim.Run(relationProgram(rel, 0))
 			must(err)
 			if res.HostTime > worst {

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// DiffResult is the per-experiment comparison of two benchmark
+// reports. Ratios are new/old; a wallNanos ratio above 1 (equivalently
+// an eventsPerSec ratio below 1) is a slowdown.
+type DiffResult struct {
+	ID            string
+	OldWallNanos  int64
+	NewWallNanos  int64
+	WallRatio     float64
+	OldEventsPS   float64
+	NewEventsPS   float64
+	EventsPSRatio float64
+	OldAllocs     uint64
+	NewAllocs     uint64
+	Regressed     bool
+}
+
+// BenchDiff compares two reports experiment by experiment, keyed on
+// ID. threshold is the tolerated fractional wall-time regression: an
+// experiment with newWall > oldWall*(1+threshold) is flagged, and
+// Regressed on the summary reports whether any experiment was. A
+// negative threshold disables flagging (informational mode, as used by
+// CI, where container timing noise makes failing the build on a wall
+// delta counterproductive). Experiments present in only one report are
+// listed but never flagged.
+type BenchDiff struct {
+	Old, New  *BenchReport
+	Threshold float64
+	Results   []DiffResult
+	OldOnly   []string
+	NewOnly   []string
+	Regressed bool
+}
+
+// Diff builds the comparison of old and new under threshold.
+func Diff(old, new *BenchReport, threshold float64) *BenchDiff {
+	d := &BenchDiff{Old: old, New: new, Threshold: threshold}
+	oldByID := make(map[string]BenchResult, len(old.Results))
+	for _, r := range old.Results {
+		oldByID[r.ID] = r
+	}
+	newSeen := make(map[string]bool, len(new.Results))
+	for _, n := range new.Results {
+		newSeen[n.ID] = true
+		o, ok := oldByID[n.ID]
+		if !ok {
+			d.NewOnly = append(d.NewOnly, n.ID)
+			continue
+		}
+		r := DiffResult{
+			ID:           n.ID,
+			OldWallNanos: o.WallNanos,
+			NewWallNanos: n.WallNanos,
+			OldEventsPS:  o.EventsPerSec,
+			NewEventsPS:  n.EventsPerSec,
+			OldAllocs:    o.Allocs,
+			NewAllocs:    n.Allocs,
+		}
+		if o.WallNanos > 0 {
+			r.WallRatio = float64(n.WallNanos) / float64(o.WallNanos)
+		}
+		if o.EventsPerSec > 0 {
+			r.EventsPSRatio = n.EventsPerSec / o.EventsPerSec
+		}
+		if threshold >= 0 && o.WallNanos > 0 &&
+			float64(n.WallNanos) > float64(o.WallNanos)*(1+threshold) {
+			r.Regressed = true
+			d.Regressed = true
+		}
+		d.Results = append(d.Results, r)
+	}
+	for _, o := range old.Results {
+		if !newSeen[o.ID] {
+			d.OldOnly = append(d.OldOnly, o.ID)
+		}
+	}
+	return d
+}
+
+// Render formats the comparison as an aligned table. Regressed rows
+// are marked "REGRESSED" in the last column.
+func (d *BenchDiff) Render() string {
+	t := &Table{
+		ID: "BENCHDIFF",
+		Title: fmt.Sprintf("benchmark diff (old %s count=%d vs new %s count=%d)",
+			d.Old.StartedAt, d.Old.Count, d.New.StartedAt, d.New.Count),
+		Columns: []string{"id", "wall-ms-old", "wall-ms-new", "wall-x", "Mev/s-old", "Mev/s-new", "ev/s-x", "allocs-old", "allocs-new", "flag"},
+	}
+	for _, r := range d.Results {
+		flag := ""
+		if r.Regressed {
+			flag = "REGRESSED"
+		}
+		t.AddRow(r.ID,
+			float64(r.OldWallNanos)/1e6,
+			float64(r.NewWallNanos)/1e6,
+			r.WallRatio,
+			r.OldEventsPS/1e6,
+			r.NewEventsPS/1e6,
+			r.EventsPSRatio,
+			r.OldAllocs,
+			r.NewAllocs,
+			flag)
+	}
+	var wallOld, wallNew int64
+	for _, r := range d.Results {
+		wallOld += r.OldWallNanos
+		wallNew += r.NewWallNanos
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("total wall %v -> %v over %d shared experiments",
+		time.Duration(wallOld).Round(time.Millisecond), time.Duration(wallNew).Round(time.Millisecond), len(d.Results)))
+	if len(d.OldOnly) > 0 {
+		t.Notes = append(t.Notes, "only in old: "+strings.Join(d.OldOnly, ", "))
+	}
+	if len(d.NewOnly) > 0 {
+		t.Notes = append(t.Notes, "only in new: "+strings.Join(d.NewOnly, ", "))
+	}
+	if d.Threshold >= 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("regression threshold: wall-time ratio > %.2f", 1+d.Threshold))
+	} else {
+		t.Notes = append(t.Notes, "informational: regression flagging disabled (negative threshold)")
+	}
+	return t.Render()
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/logp"
@@ -33,22 +34,30 @@ type BenchResult struct {
 // BenchReport is the top-level schema of BENCH_logp.json. Reports from
 // different checkouts or machines are compared result by result, keyed
 // on experiment ID; wallNanos and eventsPerSec carry the trajectory,
-// allocs/allocBytes explain it.
+// allocs/allocBytes explain it. Count is the number of repetitions
+// each result's wall time is the median of.
 type BenchReport struct {
 	GoVersion      string        `json:"goVersion"`
 	GOOS           string        `json:"goos"`
 	GOARCH         string        `json:"goarch"`
 	Quick          bool          `json:"quick"`
 	Seed           uint64        `json:"seed"`
+	Count          int           `json:"count"`
 	StartedAt      string        `json:"startedAt"`
 	TotalWallNanos int64         `json:"totalWallNanos"`
 	Results        []BenchResult `json:"results"`
 }
 
 // RunBench benchmarks the given experiments (all of them when ids is
-// empty) under cfg and returns the report. Each experiment runs once;
-// a GC fence before each run keeps the allocation deltas attributable.
-func RunBench(cfg Config, ids []string) (*BenchReport, error) {
+// empty) under cfg and returns the report, running each experiment
+// count times (count < 1 reads as 1) and reporting the median wall
+// time; a GC fence before each repetition keeps the allocation deltas
+// attributable. Experiments are deterministic functions of the seed —
+// every machine inside them is freshly constructed — so repetitions
+// replay identical event streams and the median isolates scheduler and
+// allocator noise, not simulation variance. Allocation deltas are also
+// medians, taken independently of the wall-time median.
+func RunBench(cfg Config, ids []string, count int) (*BenchReport, error) {
 	var exps []Experiment
 	if len(ids) == 0 {
 		exps = All()
@@ -61,45 +70,86 @@ func RunBench(cfg Config, ids []string) (*BenchReport, error) {
 			exps = append(exps, e)
 		}
 	}
+	if count < 1 {
+		count = 1
+	}
 	rep := &BenchReport{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		Quick:     cfg.Quick,
 		Seed:      cfg.Seed,
+		Count:     count,
 		StartedAt: time.Now().UTC().Format(time.RFC3339),
 	}
 	var ms0, ms1 runtime.MemStats
+	walls := make([]int64, count)
+	allocs := make([]uint64, count)
+	allocBytes := make([]uint64, count)
 	for _, e := range exps {
-		runtime.GC()
-		runtime.ReadMemStats(&ms0)
-		ev0 := logp.SimEventCount()
-		hp0 := netsim.SimHopCount()
-		start := time.Now()
-		tab := e.Run(cfg)
-		wall := time.Since(start)
-		ev1 := logp.SimEventCount()
-		hp1 := netsim.SimHopCount()
-		runtime.ReadMemStats(&ms1)
-
-		r := BenchResult{
-			ID:         e.ID,
-			Name:       e.Name,
-			WallNanos:  wall.Nanoseconds(),
-			SimEvents:  ev1 - ev0,
-			NetHops:    hp1 - hp0,
-			Allocs:     ms1.Mallocs - ms0.Mallocs,
-			AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
-			Rows:       len(tab.Rows),
+		var r BenchResult
+		for it := 0; it < count; it++ {
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			ev0 := logp.SimEventCount()
+			hp0 := netsim.SimHopCount()
+			start := time.Now()
+			tab := e.Run(cfg)
+			wall := time.Since(start)
+			ev1 := logp.SimEventCount()
+			hp1 := netsim.SimHopCount()
+			runtime.ReadMemStats(&ms1)
+			walls[it] = wall.Nanoseconds()
+			allocs[it] = ms1.Mallocs - ms0.Mallocs
+			allocBytes[it] = ms1.TotalAlloc - ms0.TotalAlloc
+			// Deterministic per repetition, so recording the last
+			// repetition's counts records every repetition's.
+			r = BenchResult{
+				ID:        e.ID,
+				Name:      e.Name,
+				SimEvents: ev1 - ev0,
+				NetHops:   hp1 - hp0,
+				Rows:      len(tab.Rows),
+			}
 		}
-		if wall > 0 {
-			r.EventsPerSec = float64(r.SimEvents) / wall.Seconds()
-			r.HopsPerSec = float64(r.NetHops) / wall.Seconds()
+		r.WallNanos = medianInt64(walls)
+		r.Allocs = medianUint64(allocs)
+		r.AllocBytes = medianUint64(allocBytes)
+		if r.WallNanos > 0 {
+			sec := float64(r.WallNanos) / 1e9
+			r.EventsPerSec = float64(r.SimEvents) / sec
+			r.HopsPerSec = float64(r.NetHops) / sec
 		}
 		rep.TotalWallNanos += r.WallNanos
 		rep.Results = append(rep.Results, r)
 	}
 	return rep, nil
+}
+
+// medianInt64 returns the median of xs (lower middle for even counts,
+// so the value is always an observed sample). xs is scratch and gets
+// reordered.
+func medianInt64(xs []int64) int64 {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return xs[(len(xs)-1)/2]
+}
+
+func medianUint64(xs []uint64) uint64 {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return xs[(len(xs)-1)/2]
+}
+
+// ReadJSON loads a report previously written by WriteJSON.
+func ReadJSON(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &r, nil
 }
 
 // WriteJSON writes the report to path, pretty-printed.
@@ -115,7 +165,7 @@ func (r *BenchReport) WriteJSON(path string) error {
 func (r *BenchReport) Render() string {
 	t := &Table{
 		ID:      "BENCH",
-		Title:   fmt.Sprintf("benchmark (%s %s/%s, quick=%v, seed=%d)", r.GoVersion, r.GOOS, r.GOARCH, r.Quick, r.Seed),
+		Title:   fmt.Sprintf("benchmark (%s %s/%s, quick=%v, seed=%d, median of %d)", r.GoVersion, r.GOOS, r.GOARCH, r.Quick, r.Seed, r.Count),
 		Columns: []string{"id", "wall-ms", "sim-events", "events/sec", "net-hops", "hops/sec", "allocs", "alloc-MB"},
 	}
 	for _, b := range r.Results {

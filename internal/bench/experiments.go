@@ -220,9 +220,9 @@ func E3BSPOnLogPDet(cfg Config) *Table {
 	rng := stats.NewRNG(cfg.Seed)
 	for _, pCount := range ps {
 		lp := logp.Params{P: pCount, L: 16, O: 1, G: 2}
+		sim := &core.BSPOnLogP{LogP: lp, Router: core.RouterDeterministic, Seed: cfg.Seed, StrictStallFree: true}
 		for h := 1; h <= pCount; h *= 2 {
 			rel := relation.RandomRegular(rng, pCount, h)
-			sim := &core.BSPOnLogP{LogP: lp, Router: core.RouterDeterministic, Seed: cfg.Seed, StrictStallFree: true}
 			res, err := sim.Run(relationProgram(rel, int64(h)))
 			must(err)
 			t.AddRow(pCount, h, res.GuestTime, res.HostTime, res.Slowdown(), sFormula(lp, h), res.Host.StallEvents)
@@ -255,12 +255,13 @@ func E4Randomized(cfg Config) *Table {
 	lp := logp.Params{P: pCount, L: 16, O: 1, G: 2} // capacity 8 >= log2(64)=6
 	rng := stats.NewRNG(cfg.Seed)
 	beta := 1.0
+	sim := &core.BSPOnLogP{LogP: lp, Router: core.RouterRandomized, Beta: beta}
 	for h := int(lp.Capacity()); h <= pCount; h *= 2 {
 		rel := relation.RandomRegular(rng, pCount, h)
 		var worst int64
 		stallRuns := 0
 		for s := 0; s < seeds; s++ {
-			sim := &core.BSPOnLogP{LogP: lp, Router: core.RouterRandomized, Seed: cfg.Seed + uint64(s), Beta: beta}
+			sim.Seed = cfg.Seed + uint64(s)
 			res, err := sim.Run(relationProgram(rel, 0))
 			must(err)
 			if res.HostTime > worst {

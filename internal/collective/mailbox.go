@@ -22,12 +22,33 @@ import (
 type Mailbox struct {
 	Proc logp.Proc
 	held []logp.Message
-	seqs map[int32]int64
+	// Sequence counters (NextSeq): the protocol tags this package and
+	// the cross-simulators use live in the small negative range
+	// [seqLowBase, 0), which an array covers without the map's per-run
+	// allocations; other tags fall back to the lazily made map.
+	seqLow [seqLowSpan]int64
+	seqs   map[int32]int64
 }
+
+const (
+	seqLowBase = -128
+	seqLowSpan = 128
+)
 
 // NewMailbox wraps p.
 func NewMailbox(p logp.Proc) *Mailbox {
-	return &Mailbox{Proc: p, seqs: make(map[int32]int64)}
+	return &Mailbox{Proc: p}
+}
+
+// Reset re-points the mailbox at p and clears held messages and every
+// sequence counter, restoring the as-new state while keeping the held
+// buffer's backing array; pooled protocol adapters reset their mailbox
+// per run instead of allocating a fresh one.
+func (mb *Mailbox) Reset(p logp.Proc) {
+	mb.Proc = p
+	mb.held = mb.held[:0]
+	mb.seqLow = [seqLowSpan]int64{}
+	clear(mb.seqs)
 }
 
 // NextSeq returns consecutive sequence numbers per tag, starting at 0.
@@ -35,6 +56,14 @@ func NewMailbox(p logp.Proc) *Mailbox {
 // instances of the same collective cannot exchange messages even when
 // the medium reorders traffic between the same endpoints.
 func (mb *Mailbox) NextSeq(tag int32) int64 {
+	if tag >= seqLowBase && tag < seqLowBase+seqLowSpan {
+		s := mb.seqLow[tag-seqLowBase]
+		mb.seqLow[tag-seqLowBase] = s + 1
+		return s
+	}
+	if mb.seqs == nil {
+		mb.seqs = make(map[int32]int64)
+	}
 	s := mb.seqs[tag]
 	mb.seqs[tag] = s + 1
 	return s
@@ -43,8 +72,11 @@ func (mb *Mailbox) NextSeq(tag int32) int64 {
 // RecvWhere blocks until a message satisfying match is available,
 // holding every other message for later receives.
 func (mb *Mailbox) RecvWhere(match func(logp.Message) bool) logp.Message {
-	for i, m := range mb.held {
-		if match(m) {
+	// Index-based scan: a Message carries an interface word, so a
+	// range-by-value copy per held entry is measurable on hot paths.
+	for i := range mb.held {
+		if match(mb.held[i]) {
+			m := mb.held[i]
 			mb.held = append(mb.held[:i], mb.held[i+1:]...)
 			return m
 		}
@@ -83,13 +115,18 @@ func (mb *Mailbox) Hold(m logp.Message) { mb.held = append(mb.held, m) }
 // match, preserving arrival order. It does not touch the machine
 // buffer; callers polling with TryRecv combine both sources.
 func (mb *Mailbox) TakeMatching(match func(logp.Message) bool) []logp.Message {
-	var out []logp.Message
+	return mb.TakeMatchingInto(match, nil)
+}
+
+// TakeMatchingInto is TakeMatching appending into out, so hot callers
+// can recycle a scratch buffer across calls.
+func (mb *Mailbox) TakeMatchingInto(match func(logp.Message) bool, out []logp.Message) []logp.Message {
 	rest := mb.held[:0]
-	for _, m := range mb.held {
-		if match(m) {
-			out = append(out, m)
+	for i := range mb.held {
+		if match(mb.held[i]) {
+			out = append(out, mb.held[i])
 		} else {
-			rest = append(rest, m)
+			rest = append(rest, mb.held[i])
 		}
 	}
 	mb.held = rest

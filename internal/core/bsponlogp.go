@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/bsp"
 	"repro/internal/collective"
@@ -75,6 +75,18 @@ type BSPOnLogP struct {
 	// EventLog, when non-nil, receives every host-machine event
 	// (message lifecycle tracing; see logp.WithEventLog).
 	EventLog func(logp.Event)
+
+	// Cached cross-Run state: the host machine and the simulation's
+	// adapter/step pools are rebuilt only when the fields they depend
+	// on change, so seed-sweeping experiment loops reuse one set of
+	// allocations across trials. Run was never safe for concurrent use
+	// of one BSPOnLogP value (it reads the public fields un-locked);
+	// the cache keeps it that way rather than making it worse.
+	mach       *logp.Machine
+	machParams logp.Params
+	machPolicy logp.DeliveryPolicy
+	machStrict bool
+	sim        *bspSim
 }
 
 // Thm2Result reports a BSPOnLogP execution.
@@ -156,31 +168,47 @@ func (s *BSPOnLogP) Run(prog bsp.Program) (Thm2Result, error) {
 	if guest.P != s.LogP.P {
 		return Thm2Result{}, fmt.Errorf("core: guest has %d processors, host %d", guest.P, s.LogP.P)
 	}
-	sim := &bspSim{
-		spec:     s,
-		lp:       s.LogP,
-		guest:    guest,
-		steps:    map[int]*stepState{},
-		capacity: s.LogP.Capacity(),
-	}
-	opts := []logp.Option{
-		logp.WithDeliveryPolicy(s.Policy),
-		logp.WithSeed(s.Seed),
-	}
-	if s.StrictStallFree {
-		opts = append(opts, logp.WithStrictStallFree())
-	}
-	if s.EventLog != nil {
-		opts = append(opts, logp.WithEventLog(s.EventLog))
-	}
-	m := logp.NewMachine(s.LogP, opts...)
-	hostRes, err := m.Run(func(lp logp.Proc) {
-		a := &bspAdapter{
-			lp:  lp,
-			mb:  collective.NewMailbox(lp),
-			sim: sim,
-			rng: stats.NewRNG(s.Seed ^ (uint64(lp.ID())+1)*0x9e3779b97f4a7c15),
+	sim := s.sim
+	if sim == nil || sim.lp != s.LogP || sim.guest != guest {
+		sim = &bspSim{
+			spec:     s,
+			lp:       s.LogP,
+			guest:    guest,
+			steps:    map[int]*stepState{},
+			capacity: s.LogP.Capacity(),
+			adapters: make([]*bspAdapter, s.LogP.P),
 		}
+		s.sim = sim
+	} else {
+		sim.reset(s)
+	}
+	m := s.mach
+	if m == nil || s.EventLog != nil || s.machParams != s.LogP ||
+		s.machPolicy != s.Policy || s.machStrict != s.StrictStallFree {
+		opts := []logp.Option{
+			logp.WithDeliveryPolicy(s.Policy),
+			logp.WithSeed(s.Seed),
+		}
+		if s.StrictStallFree {
+			opts = append(opts, logp.WithStrictStallFree())
+		}
+		if s.EventLog != nil {
+			opts = append(opts, logp.WithEventLog(s.EventLog))
+		}
+		m = logp.NewMachine(s.LogP, opts...)
+		if s.EventLog == nil {
+			s.mach, s.machParams = m, s.LogP
+			s.machPolicy, s.machStrict = s.Policy, s.StrictStallFree
+		} else {
+			// An event sink cannot be compared across Runs, so runs
+			// with tracing attached never enter the cache.
+			s.mach = nil
+		}
+	} else {
+		m.SetSeed(s.Seed)
+	}
+	hostRes, err := m.Run(func(lp logp.Proc) {
+		a := sim.adapter(lp)
 		prog(a)
 		a.finish()
 	})
@@ -218,6 +246,46 @@ type bspSim struct {
 	breakdowns []SuperstepBreakdown
 	routedMsgs int64
 	colScheds  map[int]*columnSched
+
+	// freeSteps recycles stepState values (and their per-processor
+	// slice backings) between supersteps; a simulation only ever has
+	// O(1) supersteps in flight, so the pool stays tiny while the
+	// steady-state allocation rate drops to zero.
+	freeSteps []*stepState
+
+	// adapters pools the per-processor bsp.Proc adapters (and their
+	// mailbox, outbox/inbox, and router scratch backings) across Runs
+	// of the owning BSPOnLogP.
+	adapters []*bspAdapter
+}
+
+// reset prepares a cached sim for another Run of the same spec. The
+// result slices are handed to the caller at the end of every Run, so
+// they are dropped rather than truncated; the pools stay.
+func (sim *bspSim) reset(s *BSPOnLogP) {
+	sim.spec = s
+	sim.capacity = s.LogP.Capacity()
+	clear(sim.steps) // a failed Run can leave partial steps behind
+	sim.guestCosts, sim.stepH, sim.breakdowns = nil, nil, nil
+	sim.routedMsgs = 0
+}
+
+// adapter returns processor lp's pooled adapter, re-pointed at this
+// Run's Proc and reset to superstep 0 with its scratch backings kept.
+func (sim *bspSim) adapter(lp logp.Proc) *bspAdapter {
+	a := sim.adapters[lp.ID()]
+	if a == nil {
+		a = &bspAdapter{lp: lp, mb: collective.NewMailbox(lp), sim: sim}
+		sim.adapters[lp.ID()] = a
+	} else {
+		a.lp = lp
+		a.mb.Reset(lp)
+		a.step, a.work, a.inboxPos, a.lastSync = 0, 0, 0, 0
+		a.outbox = a.outbox[:0]
+		a.inbox = a.inbox[:0]
+	}
+	a.rng.Reseed(sim.spec.Seed ^ (uint64(lp.ID())+1)*0x9e3779b97f4a7c15)
+	return a
 }
 
 // stepState aggregates one superstep across processors.
@@ -246,17 +314,51 @@ func (sim *bspSim) step(k int) *stepState {
 	st := sim.steps[k]
 	if st == nil {
 		p := sim.lp.P
-		st = &stepState{
-			outSelf:   make([][]bsp.Message, p),
-			outRouted: make([][]bsp.Message, p),
+		if n := len(sim.freeSteps); n > 0 {
+			st = sim.freeSteps[n-1]
+			sim.freeSteps = sim.freeSteps[:n-1]
+			st.reset()
+		} else {
+			st = &stepState{
+				outSelf:   make([][]bsp.Message, p),
+				outRouted: make([][]bsp.Message, p),
+			}
 		}
 		sim.steps[k] = st
 	}
 	return st
 }
 
+// reset clears a recycled stepState while keeping the per-processor
+// slice backings for reuse.
+func (st *stepState) reset() {
+	for i := range st.outSelf {
+		st.outSelf[i] = st.outSelf[i][:0]
+		st.outRouted[i] = st.outRouted[i][:0]
+	}
+	st.registered, st.finished = 0, 0
+	st.workMax, st.hGuest = 0, 0
+	st.metaDone = false
+	st.h, st.maxOut = 0, 0
+	st.indeg = st.indeg[:0]
+	st.classOf = nil
+	st.computeMax, st.barrierMax, st.routeMax, st.measuredMax = 0, 0, 0, 0
+}
+
 func (sim *bspSim) register(k, id int, outbox []bsp.Message, work int64) {
 	st := sim.step(k)
+	nSelf := 0
+	for i := range outbox {
+		if outbox[i].Dst == id {
+			nSelf++
+		}
+	}
+	if nSelf > 0 && cap(st.outSelf[id]) < nSelf {
+		st.outSelf[id] = make([]bsp.Message, 0, nSelf)
+	}
+	if n := len(outbox) - nSelf; n > 0 && cap(st.outRouted[id]) < n {
+		st.outRouted[id] = make([]bsp.Message, 0, n)
+	}
 	for _, m := range outbox {
 		if m.Dst == id {
 			st.outSelf[id] = append(st.outSelf[id], m)
@@ -279,7 +381,14 @@ func (st *stepState) ensureMeta(p int) {
 	if st.registered != p {
 		panic(fmt.Sprintf("core: meta requested with %d/%d processors registered (bug)", st.registered, p))
 	}
-	st.indeg = make([]int64, p)
+	if cap(st.indeg) >= p {
+		st.indeg = st.indeg[:p]
+		for i := range st.indeg {
+			st.indeg[i] = 0
+		}
+	} else {
+		st.indeg = make([]int64, p)
+	}
 	inSelf := make([]int64, p)
 	for i := 0; i < p; i++ {
 		out := int64(len(st.outRouted[i]))
@@ -359,6 +468,7 @@ func (sim *bspSim) finishStep(k int) {
 		sim.routedMsgs += int64(len(st.outRouted[i]))
 	}
 	delete(sim.steps, k)
+	sim.freeSteps = append(sim.freeSteps, st)
 }
 
 // bspAdapter implements bsp.Proc on top of a LogP processor.
@@ -366,7 +476,7 @@ type bspAdapter struct {
 	lp  logp.Proc
 	mb  *collective.Mailbox
 	sim *bspSim
-	rng *stats.RNG
+	rng stats.RNG
 
 	step     int
 	work     int64
@@ -374,6 +484,21 @@ type bspAdapter struct {
 	inbox    []bsp.Message
 	inboxPos int
 	lastSync int64 // host clock when the previous superstep ended
+
+	// batchOf and leftIdx are routeRandomized's per-superstep scratch
+	// (the batch drawn for each routed message, and the round-ordered
+	// indices deferred to the cleanup phase), kept on the adapter so
+	// steady-state routing allocates nothing.
+	batchOf []int32
+	leftIdx []int32
+
+	// sortBuf is bitonicSort's ping-pong merge scratch (see there).
+	sortBuf []bsp.Message
+
+	// gotBuf backs the routers' received-message slice; barrierAndRoute
+	// reclaims it after draining the superstep's arrivals into the
+	// inbox.
+	gotBuf []logp.Message
 }
 
 var _ bsp.Proc = (*bspAdapter)(nil)
@@ -458,16 +583,21 @@ func (a *bspAdapter) barrierAndRoute(finished bool) (allDone bool) {
 	}
 	a.lastSync = routeExit
 
-	inbox := make([]bsp.Message, 0, len(received)+len(st.outSelf[id]))
-	for _, m := range received {
-		inbox = append(inbox, m.Body.(bsp.Message))
+	// The previous superstep's inbox is dead past its Sync, so its
+	// backing array is reusable; the message values below are copies.
+	inbox := a.inbox[:0]
+	for i := range received {
+		inbox = append(inbox, *received[i].Body.(*bsp.Message))
 	}
 	inbox = append(inbox, st.outSelf[id]...)
+	if received != nil {
+		a.gotBuf = received[:0]
+	}
 	a.sim.finishStep(a.step)
 
 	a.inbox = inbox
 	a.inboxPos = 0
-	a.outbox = nil
+	a.outbox = a.outbox[:0]
 	a.work = 0
 	a.step++
 	return done == 1
@@ -528,11 +658,11 @@ func (a *bspAdapter) globalBase() int64 {
 // the o preparation overhead of cycle 0 after the base alignment, so
 // every processor's submissions share one grid — mixed grids could
 // transiently exceed the capacity bound and stall.
-func (a *bspAdapter) deliverWindowed(sched map[int64]bsp.Message, h, base int64, dtag int32) []logp.Message {
+func (a *bspAdapter) deliverWindowed(sched map[int64]*bsp.Message, h, base int64, dtag int32) []logp.Message {
 	lp := a.lp
 	params := lp.Params()
 	match := func(m logp.Message) bool { return m.Tag == dtag }
-	got := a.mb.TakeMatching(match)
+	got := a.mb.TakeMatchingInto(match, a.gotBuf[:0])
 	classify := func(m logp.Message) {
 		if match(m) {
 			got = append(got, m)
@@ -581,9 +711,10 @@ func (a *bspAdapter) routeOffline(st *stepState, dtag int32) []logp.Message {
 	}
 	base := a.globalBase()
 	id := a.lp.ID()
-	sched := make(map[int64]bsp.Message, len(st.outRouted[id]))
-	for j, m := range st.outRouted[id] {
-		sched[int64(st.classOf[id][j])] = m
+	mine := st.outRouted[id]
+	sched := make(map[int64]*bsp.Message, len(mine))
+	for j := range mine {
+		sched[int64(st.classOf[id][j])] = &mine[j]
 	}
 	return a.deliverWindowed(sched, st.h, base, dtag)
 }
@@ -609,37 +740,48 @@ func (a *bspAdapter) routeRandomized(st *stepState, dtag int32) []logp.Message {
 	rounds := stats.Theorem3Rounds(int(st.h), int(capacity), beta)
 	id := lp.ID()
 	mine := st.outRouted[id]
-	batches := make([][]bsp.Message, rounds)
-	for _, m := range mine {
-		b := a.rng.Intn(rounds)
-		batches[b] = append(batches[b], m)
+	// Draw every message's batch up front (one RNG draw per message, in
+	// message order) into reusable scratch instead of materializing
+	// per-batch slices; each round then scans mine for its members,
+	// which preserves the former batch-slice order exactly.
+	batchOf := a.batchOf[:0]
+	for range mine {
+		batchOf = append(batchOf, int32(a.rng.Intn(rounds)))
 	}
+	a.batchOf = batchOf
 	base := a.globalBase()
 	roundLen := 2 * (params.L + params.O)
-	var leftovers []bsp.Message
-	for j := 0; j < rounds; j++ {
+	leftIdx := a.leftIdx[:0]
+	for j := int32(0); int(j) < rounds; j++ {
 		start := base + int64(j)*roundLen
 		lp.WaitUntil(start)
 		sent := int64(0)
-		for _, m := range batches[j] {
-			if sent >= capacity {
-				leftovers = append(leftovers, m)
+		for i := range mine {
+			if batchOf[i] != j {
 				continue
 			}
+			if sent >= capacity {
+				leftIdx = append(leftIdx, int32(i))
+				continue
+			}
+			m := &mine[i]
 			lp.SendBody(m.Dst, dtag, m.Payload, m.Aux, m)
 			sent++
 		}
 	}
 	// Cleanup phase: transmit the remainder, one submission every G
-	// (the gap rule enforces the spacing); these may stall.
-	for _, m := range leftovers {
+	// (the gap rule enforces the spacing); these may stall. leftIdx
+	// carries them in round order, matching the round loop above.
+	for _, i := range leftIdx {
+		m := &mine[i]
 		lp.SendBody(m.Dst, dtag, m.Payload, m.Aux, m)
 	}
+	a.leftIdx = leftIdx
 	// Receive phase: the in-degree is known in advance per the
 	// theorem's premise.
 	want := int(st.indeg[id])
 	match := func(m logp.Message) bool { return m.Tag == dtag }
-	got := a.mb.TakeMatching(match)
+	got := a.mb.TakeMatchingInto(match, a.gotBuf[:0])
 	for len(got) < want {
 		got = append(got, a.mb.RecvWhere(match))
 	}
@@ -674,5 +816,13 @@ func sortItemLess(x, y bsp.Message) bool {
 }
 
 func sortItems(items []bsp.Message) {
-	sort.Slice(items, func(i, j int) bool { return sortItemLess(items[i], items[j]) })
+	slices.SortFunc(items, func(x, y bsp.Message) int {
+		if sortItemLess(x, y) {
+			return -1
+		}
+		if sortItemLess(y, x) {
+			return 1
+		}
+		return 0
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"iter"
 	"math"
 	"sort"
 
@@ -134,14 +135,13 @@ func (s *LogPOnBSP) Run(prog logp.Program) (Thm1Result, error) {
 		lp:       lp,
 		cycleLen: cycleLen,
 		fold:     fold,
-		stopc:    make(chan struct{}),
 		sent:     map[int64][]int64{},
 		rcvd:     map[int64][]int64{},
 		sentX:    map[int64][]int64{},
 		rcvdX:    map[int64][]int64{},
 		msgs:     map[int64][]relation.Pair{},
 	}
-	defer close(eng.stopc)
+	defer eng.shutdown()
 	if err := eng.run(prog); err != nil {
 		return Thm1Result{}, err
 	}
@@ -171,7 +171,6 @@ type cycleEngine struct {
 	guestTime int64
 	totalMsgs int64
 
-	stopc   chan struct{}
 	procErr error
 }
 
@@ -184,10 +183,21 @@ type cycleProc struct {
 	// gap stream, as in the logp engine.
 	nextComm int64
 	buf      []cycleArrived
-	state   cycleState
-	pending cycleReq
-	req     chan cycleReq
-	res     chan cycleRes
+	state    cycleState
+	pending  cycleReq
+	// The program runs as an iter.Pull coroutine, as in the logp
+	// engine's fast path: next resumes the program until its next
+	// engine call, which stores the request in out, yields, and reads
+	// the answer from resp; stop unwinds a still-parked program. A
+	// finished coroutine cannot yield its terminal state, so the
+	// epilogue records it in final. Exactly one of (engine, program)
+	// runs at any time, so the unsynchronized fields are race-free.
+	next  func() (token, bool)
+	stop  func()
+	yield func(token) bool
+	out   cycleReq
+	resp  cycleRes
+	final cycleReq
 }
 
 type cycleArrived struct {
@@ -231,6 +241,11 @@ type cycleRes struct {
 
 var errCycleStopped = errors.New("core: cycle engine stopped")
 
+// token is the zero-size value exchanged over the coroutine switch;
+// requests and responses ride in cycleProc fields instead of being
+// copied through the iter.Pull plumbing.
+type token = struct{}
+
 // cycleProc implements logp.Proc.
 var _ logp.Proc = (*cycleProc)(nil)
 
@@ -240,17 +255,11 @@ func (p *cycleProc) Params() logp.Params { return p.eng.lp }
 func (p *cycleProc) Now() int64          { return p.clock }
 
 func (p *cycleProc) call(r cycleReq) cycleRes {
-	select {
-	case p.req <- r:
-	case <-p.eng.stopc:
+	p.out = r
+	if !p.yield(token{}) {
 		panic(errCycleStopped)
 	}
-	select {
-	case v := <-p.res:
-		return v
-	case <-p.eng.stopc:
-		panic(errCycleStopped)
-	}
+	return p.resp
 }
 
 func (p *cycleProc) Compute(n int64) {
@@ -319,32 +328,44 @@ func (h *cycleHeap) Pop() interface{} {
 	return v
 }
 
+// sequence adapts prog to the coroutine protocol; see cycleProc.
+func (p *cycleProc) sequence(prog logp.Program) iter.Seq[token] {
+	return func(yield func(token) bool) {
+		p.yield = yield
+		defer func() {
+			switch r := recover(); {
+			case r == nil:
+				p.final = cycleReq{op: cycleOpDone}
+			case isCycleStopped(r):
+				// Unwound by shutdown; the engine no longer reads.
+			default:
+				p.final = cycleReq{op: cycleOpPanic, err: fmt.Errorf("core: processor %d panicked: %v", p.id, r)}
+			}
+		}()
+		prog(p)
+	}
+}
+
+func isCycleStopped(r interface{}) bool {
+	err, ok := r.(error)
+	return ok && errors.Is(err, errCycleStopped)
+}
+
+func (e *cycleEngine) shutdown() {
+	for _, p := range e.procs {
+		if p.stop != nil {
+			p.stop()
+		}
+	}
+}
+
 func (e *cycleEngine) run(prog logp.Program) error {
 	n := e.lp.P
 	e.procs = make([]*cycleProc, n)
 	for i := 0; i < n; i++ {
-		p := &cycleProc{id: i, eng: e, req: make(chan cycleReq), res: make(chan cycleRes)}
+		p := &cycleProc{id: i, eng: e}
 		e.procs[i] = p
-		go func(p *cycleProc) {
-			defer func() {
-				r := recover()
-				if r == nil {
-					select {
-					case p.req <- cycleReq{op: cycleOpDone}:
-					case <-e.stopc:
-					}
-					return
-				}
-				if err, ok := r.(error); ok && errors.Is(err, errCycleStopped) {
-					return
-				}
-				select {
-				case p.req <- cycleReq{op: cycleOpPanic, err: fmt.Errorf("core: processor %d panicked: %v", p.id, r)}:
-				case <-e.stopc:
-				}
-			}()
-			prog(p)
-		}(p)
+		p.next, p.stop = iter.Pull(p.sequence(prog))
 		e.await(p)
 	}
 
@@ -398,22 +419,19 @@ func (e *cycleEngine) run(prog logp.Program) error {
 }
 
 func (e *cycleEngine) await(p *cycleProc) {
-	p.pending = <-p.req
-	switch p.pending.op {
-	case cycleOpDone:
-		p.state = cycleDone
-	case cycleOpPanic:
-		if e.procErr == nil {
-			e.procErr = p.pending.err
-		}
-		p.state = cycleDone
-	default:
+	if _, ok := p.next(); ok {
+		p.pending = p.out
 		p.state = cycleReady
+		return
+	}
+	p.state = cycleDone
+	if p.final.op == cycleOpPanic && e.procErr == nil {
+		e.procErr = p.final.err
 	}
 }
 
 func (e *cycleEngine) resume(p *cycleProc, r cycleRes) {
-	p.res <- r
+	p.resp = r
 	e.await(p)
 }
 

@@ -75,10 +75,11 @@ func (a *bspAdapter) routeDeterministic(st *stepState, dtag int32) []logp.Messag
 	// sorted position already is their destination need no network
 	// hop.
 	base := a.globalBase()
-	sched := make(map[int64]bsp.Message, len(items))
+	sched := make(map[int64]*bsp.Message, len(items))
 	var local []logp.Message
 	rankBase := int64(id) * rEff
-	for j, item := range items {
+	for j := range items {
+		item := &items[j]
 		if item.Dst == p {
 			continue // dummy
 		}
@@ -140,7 +141,16 @@ func (a *bspAdapter) bitonicSort(items []bsp.Message) ([]bsp.Message, int64) {
 		for _, item := range items {
 			lp.SendBody(partner, tagSort, int64(item.Dst), seq, item)
 		}
-		merged := make([]bsp.Message, 0, 2*r)
+		// merged ping-pongs between the adapter's scratch buffer and
+		// items' backing, so the per-round 2r-slot slice is allocated
+		// once per simulation instead of once per round. (The sorted
+		// block bitonicSort finally returns aliases neither buffer that
+		// stays on the adapter: whichever backing items ends on, the
+		// other one is in sortBuf at return.)
+		if cap(a.sortBuf) < 2*r {
+			a.sortBuf = make([]bsp.Message, 0, 2*r)
+		}
+		merged := a.sortBuf[:0]
 		merged = append(merged, items...)
 		for k := 0; k < r; k++ {
 			m := a.mb.RecvTagSeq(tagSort, seq)
@@ -149,9 +159,11 @@ func (a *bspAdapter) bitonicSort(items []bsp.Message) ([]bsp.Message, int64) {
 		lp.Compute(int64(2 * r)) // merge cost
 		sortItems(merged)
 		if keepLow {
+			a.sortBuf = items[:0]
 			items = merged[:r]
 		} else {
 			items = append(items[:0], merged[r:]...)
+			a.sortBuf = merged[:0]
 		}
 	}
 	// Let every processor clear its last round before the summary

@@ -3,9 +3,12 @@ package logp
 import (
 	"errors"
 	"fmt"
+	"iter"
 	"math"
-	"sort"
+	"math/bits"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/stats"
 )
@@ -97,6 +100,16 @@ func WithStrictStallFree() Option {
 	return func(m *Machine) { m.strictStallFree = true }
 }
 
+// WithSlowPath disables the coroutine handshake and the proc-local
+// fast path, forcing every processor operation through the original
+// per-op channel rendezvous on a dedicated goroutine. Observable
+// behavior is identical; the differential fuzz test and the golden
+// suite use this engine as the oracle the fast path must match
+// bit for bit.
+func WithSlowPath() Option {
+	return func(m *Machine) { m.slowPath = true }
+}
+
 // AcceptOrder selects which waiting submissions the Stalling Rule
 // accepts first when a destination has fewer free slots than waiting
 // messages. The paper fixes only the count min(k, s); "the order in
@@ -140,13 +153,15 @@ type Machine struct {
 	policy          DeliveryPolicy
 	seed            uint64
 	strictStallFree bool
+	slowPath        bool
 	acceptOrder     AcceptOrder
 	eventLog        func(Event)
 	auditor         *Auditor // per-run, when the process-wide audit hook is on
 	msgSeq          int64
 
-	rng   *stats.RNG
-	procs []*proc
+	rng      *stats.RNG
+	procs    []*proc
+	capacity int64 // params.Capacity(), cached off the per-instant path
 
 	events eventHeap
 	seq    int64
@@ -154,12 +169,21 @@ type Machine struct {
 	// ready is a binary min-heap of runnable processors keyed by
 	// (clock, id); it replaces the per-step O(P) scan of the first
 	// engine version. A processor is in the heap exactly while its
-	// state is stateReady, pushed at the await transition and popped
-	// by the scheduler loop just before exec.
+	// state is stateReady and the scheduler is not already committed
+	// to running it.
 	ready []*proc
 
-	pendingQ  [][]pendingSub // per destination, FIFO by (subAt, src)
-	inTransit []int64        // per destination
+	pendingQ  [][]int32 // per destination: recSlab indices, FIFO by (subAt, src)
+	inTransit []int64   // per destination
+
+	// recSlab backs every message's single record for its whole
+	// lifecycle — pending-queue entry, in-flight delivery, buffered
+	// arrival — so the pending/in-flight/buffer structures exchange
+	// int32 indices instead of copying Message records, and freed
+	// records recycle through the recFree intrusive free list; the
+	// steady-state message path allocates nothing.
+	recSlab []msgRec
+	recFree int32
 
 	// Reserved delivery instants, one ring-buffer bitset per
 	// destination instead of the first version's map[int64]struct{}.
@@ -174,11 +198,30 @@ type Machine struct {
 	window    int64
 
 	// Per-instant scratch, reused across processInstant calls so the
-	// hot path does not allocate.
-	dirtyFlag []bool
-	dirtyList []int
-	wakeSend  []*proc
-	wakeRecv  []*proc
+	// hot path does not allocate: one bit per processor id, consumed in
+	// ascending word/bit order, which visits processors in id order
+	// without the sorting pass an id list would need. Each set is
+	// cleared as it is iterated, so the words are all-zero between
+	// instants.
+	dirtyBits    []uint64
+	wakeSendBits []uint64
+	wakeRecvBits []uint64
+	procWords    int
+
+	// resumeFloor is a lower bound on the clock at which any processor
+	// that the scheduler is about to re-enter — but which is not yet
+	// in the ready heap — may next act. It is 0 during the startup
+	// sweep (unstarted programs begin at clock 0), the current instant
+	// during processInstant's wake sweeps, and MaxInt64 otherwise.
+	// localWatermark folds it into the fast-path delivery watermark.
+	resumeFloor int64
+
+	// Buffered trace/audit emission: when a sink is installed, events
+	// accumulate in evBuf and drain in commit order at the end of each
+	// processInstant and before Run returns, instead of one virtual
+	// call per event on the hot path.
+	emitOn bool
+	evBuf  []Event
 
 	lastDelivery int64
 	maxBuf       int
@@ -188,25 +231,44 @@ type Machine struct {
 
 	procErr error
 
+	// liveProcs counts program goroutines/coroutines between start and
+	// epilogue; Run leaves it at zero on every path (the shutdown
+	// regression tests assert this). liveWG tracks the slow-path
+	// goroutines so shutdown can wait for poisoned ones to finish
+	// unwinding before Run returns.
+	liveProcs atomic.Int64
+	liveWG    sync.WaitGroup
+
 	runs uint64 // completed Run calls, mixed into the per-run reseed
 }
 
-// shutdown unwinds every still-live program goroutine at the end of a
-// Run. Each such goroutine is parked in call's response receive (the
-// engine answered or consumed every request before returning), so a
-// single poison response per processor releases it.
+// shutdown unwinds every still-live program at the end of a Run. A
+// fast-path coroutine is stopped (its parked yield reports false and
+// the program unwinds through errStopped); stop is synchronous, so the
+// coroutine has fully unwound when it returns, and stopping an already
+// finished coroutine is a no-op. A slow-path goroutine is parked in
+// call's response receive (the engine answered or consumed every
+// request before returning), so a single poison response releases it;
+// the WaitGroup then holds Run until every goroutine's unwind — the
+// panic recovery and epilogue, not just the receive — has completed,
+// so a failed Run never leaks program goroutines into the caller's
+// world (or into this machine's next Run).
 func (m *Machine) shutdown() {
 	for _, p := range m.procs {
-		if p != nil && p.state != stateDone {
+		if p == nil {
+			continue
+		}
+		if p.fast {
+			if p.stop != nil {
+				p.stop()
+			}
+			continue
+		}
+		if p.state != stateDone {
 			p.res <- response{poison: true}
 		}
 	}
-}
-
-type pendingSub struct {
-	msg   Message
-	subAt int64
-	msgID int64
+	m.liveWG.Wait()
 }
 
 // NewMachine builds a machine with the given parameters, which must
@@ -228,23 +290,67 @@ func NewMachine(params Params, opts ...Option) *Machine {
 // Params returns the machine parameters.
 func (m *Machine) Params() Params { return m.params }
 
+// SetSeed re-seeds the machine as if it had been built with
+// WithSeed(seed): the run counter restarts, so the next Run samples
+// exactly the execution a fresh machine's first Run would. It exists
+// so that experiment loops sweeping seeds can reuse one machine's
+// processor pool, slabs, and heaps across trials instead of building
+// a machine per seed.
+func (m *Machine) SetSeed(seed uint64) {
+	m.seed = seed
+	m.runs = 0
+}
+
 // errStopped is panicked into program goroutines when the engine shuts
 // down, unwinding them cleanly.
 var errStopped = errors.New("logp: machine stopped")
 
-// runner hosts one program goroutine. Its terminal sends need no
-// shutdown select: program code (including this deferred epilogue)
-// only runs while the engine is parked in await(p), which consumes the
-// send. A goroutine unwound by a poison response returns through the
-// errStopped arm without sending anything.
+func isStopped(r interface{}) bool {
+	err, ok := r.(error)
+	return ok && errors.Is(err, errStopped)
+}
+
+// sequence adapts prog to an iter.Pull coroutine. The engine's next()
+// resumes the program until its next engine call, which stores the
+// request in p.out, yields, and parks until the engine answers in
+// p.resp. A program that returns or panics cannot yield its terminal
+// state, so the epilogue records it in p.final for the engine to read
+// when next() reports false. A coroutine unwound by stop() returns
+// through the errStopped arm without recording anything.
+func (p *proc) sequence(prog Program) iter.Seq[token] {
+	return func(yield func(token) bool) {
+		p.yield = yield
+		p.m.liveProcs.Add(1)
+		defer func() {
+			p.m.liveProcs.Add(-1)
+			switch r := recover(); {
+			case r == nil:
+				p.final = request{kind: opDone}
+			case isStopped(r):
+				// Unwound by shutdown; the engine no longer reads.
+			default:
+				p.final = request{kind: opPanic, err: fmt.Errorf("logp: processor %d panicked: %v", p.id, r)}
+			}
+		}()
+		prog(p)
+	}
+}
+
+// runner hosts one slow-path program goroutine. Its terminal sends
+// need no shutdown select: program code (including this deferred
+// epilogue) only runs while the engine is parked in await(p), which
+// consumes the send. A goroutine unwound by a poison response returns
+// through the errStopped arm without sending anything.
 func runner(p *proc, prog Program) {
+	defer p.m.liveWG.Done()
+	defer p.m.liveProcs.Add(-1)
 	defer func() {
 		r := recover()
 		if r == nil {
 			p.req <- request{kind: opDone}
 			return
 		}
-		if err, ok := r.(error); ok && errors.Is(err, errStopped) {
+		if isStopped(r) {
 			return
 		}
 		p.req <- request{kind: opPanic, err: fmt.Errorf("logp: processor %d panicked: %v", p.id, r)}
@@ -263,31 +369,45 @@ func (m *Machine) Run(prog Program) (Result, error) {
 
 	// Start processors one at a time so that the code before each
 	// program's first engine call is serialized like everything else.
+	// Programs not yet started sit at clock 0, which resumeFloor
+	// advertises to the fast path of the ones already running.
+	m.resumeFloor = 0
 	for i := 0; i < m.params.P; i++ {
-		p := &proc{
-			id:  i,
-			m:   m,
-			req: make(chan request),
-			res: make(chan response),
+		p := m.procs[i]
+		p.reinit(m.slowPath)
+		if p.fast {
+			p.watermark = m.localWatermark()
+			p.next, p.stop = iter.Pull(p.sequence(prog))
+		} else {
+			if p.req == nil {
+				p.req = make(chan request)
+				p.res = make(chan response)
+			}
+			m.liveProcs.Add(1)
+			m.liveWG.Add(1)
+			go runner(p, prog)
 		}
-		m.procs[i] = p
-		go runner(p, prog)
 		m.await(p)
+		if p.state == stateReady {
+			m.pushReady(p)
+		}
 	}
+	m.resumeFloor = math.MaxInt64
 
 	for {
 		horizon := int64(math.MaxInt64)
 		if len(m.ready) > 0 {
 			horizon = m.ready[0].clock
 		}
-		if len(m.events) > 0 && m.events[0].time <= horizon {
-			m.processInstant(m.events[0].time)
+		if m.events.len() > 0 && m.events.minTime() <= horizon {
+			m.processInstant(m.events.minTime())
 			continue
 		}
 		if len(m.ready) == 0 {
 			if m.allDone() {
 				break
 			}
+			m.drainEmit()
 			if m.procErr != nil {
 				// A processor panic often strands its peers on
 				// Recv; report the root cause, not the symptom.
@@ -295,14 +415,35 @@ func (m *Machine) Run(prog Program) (Result, error) {
 			}
 			return Result{}, m.deadlockError()
 		}
-		m.exec(m.popReady())
+		// Run the minimum-(clock, id) processor, and keep running
+		// whichever processor is the scheduler's next choice without
+		// returning to the outer loop: consecutive operations of one
+		// processor skip the heap entirely, and a handover to another
+		// ready processor is a single top-replacement sift instead of
+		// a push/pop pair.
+		p := m.popReady()
+		for {
+			m.exec(p)
+			if p.state != stateReady {
+				break
+			}
+			if m.events.len() > 0 && m.events.minTime() <= p.clock {
+				m.pushReady(p)
+				break
+			}
+			if len(m.ready) > 0 && procBefore(m.ready[0], p) {
+				p, m.ready[0] = m.ready[0], p
+				m.siftDownReady()
+			}
+		}
 	}
 
 	// Drain in-flight deliveries so LastDelivery and buffer-depth
 	// statistics reflect the whole execution.
-	for len(m.events) > 0 {
-		m.processInstant(m.events[0].time)
+	for m.events.len() > 0 {
+		m.processInstant(m.events.minTime())
 	}
+	m.drainEmit()
 	addSimEvents(m.simEvents)
 
 	res := Result{
@@ -342,14 +483,43 @@ func (m *Machine) reset() {
 	// Mix the run counter into the seed (golden-ratio stride, as in
 	// SplitMix64 seeding) so run i is a deterministic function of
 	// (seed, i) and run 0 keeps the plain seed.
-	m.rng = stats.NewRNG(m.seed + m.runs*0x9e3779b97f4a7c15)
+	if m.rng == nil {
+		m.rng = stats.NewRNG(m.seed + m.runs*0x9e3779b97f4a7c15)
+	} else {
+		m.rng.Reseed(m.seed + m.runs*0x9e3779b97f4a7c15)
+	}
 	m.runs++
-	m.procs = make([]*proc, p)
+	m.capacity = m.params.Capacity()
+	if len(m.procs) != p {
+		m.procs = make([]*proc, p)
+		for i := range m.procs {
+			m.procs[i] = &proc{id: i, m: m}
+		}
+	}
 	m.events = m.events[:0]
 	m.seq = 0
 	m.ready = m.ready[:0]
-	m.pendingQ = make([][]pendingSub, p)
-	m.inTransit = make([]int64, p)
+	if len(m.pendingQ) == p {
+		for i := range m.pendingQ {
+			m.pendingQ[i] = m.pendingQ[i][:0]
+		}
+	} else {
+		m.pendingQ = make([][]int32, p)
+	}
+	if len(m.inTransit) == p {
+		for i := range m.inTransit {
+			m.inTransit[i] = 0
+		}
+	} else {
+		m.inTransit = make([]int64, p)
+	}
+	// Zero before truncating so Body references from a previous run's
+	// unfinished messages do not outlive it in the slab's capacity.
+	for i := range m.recSlab {
+		m.recSlab[i] = msgRec{}
+	}
+	m.recSlab = m.recSlab[:0]
+	m.recFree = -1
 
 	// Ring bitsets: one window of L+1 instants per destination, laid
 	// out as a single flat word slice reused across runs.
@@ -363,17 +533,12 @@ func (m *Machine) reset() {
 	} else {
 		m.slotBits = make([]uint64, need)
 	}
-	if cap(m.dirtyFlag) >= p {
-		m.dirtyFlag = m.dirtyFlag[:p]
-		for i := range m.dirtyFlag {
-			m.dirtyFlag[i] = false
-		}
-	} else {
-		m.dirtyFlag = make([]bool, p)
-	}
-	m.dirtyList = m.dirtyList[:0]
-	m.wakeSend = m.wakeSend[:0]
-	m.wakeRecv = m.wakeRecv[:0]
+	m.procWords = (p + 63) / 64
+	m.dirtyBits = reuseWords(m.dirtyBits, m.procWords)
+	m.wakeSendBits = reuseWords(m.wakeSendBits, m.procWords)
+	m.wakeRecvBits = reuseWords(m.wakeRecvBits, m.procWords)
+	m.resumeFloor = math.MaxInt64
+	m.evBuf = m.evBuf[:0]
 
 	m.lastDelivery = 0
 	m.maxBuf = 0
@@ -383,6 +548,7 @@ func (m *Machine) reset() {
 	m.procErr = nil
 	m.msgSeq = 0
 	m.auditor = newRunAuditor(m.params)
+	m.emitOn = m.auditor != nil || m.eventLog != nil
 }
 
 // slotTaken reports whether delivery instant d is reserved at dst.
@@ -403,16 +569,73 @@ func (m *Machine) releaseSlot(dst int, d int64) {
 	m.slotBits[dst*m.slotWords+idx>>6] &^= 1 << uint(idx&63)
 }
 
-// emit forwards ev to the run's auditor and the installed event sink,
-// if any. With auditing off and no sink this is two nil checks — the
-// hot path stays free.
+// emit buffers ev for the run's auditor and the installed event sink.
+// With auditing off and no sink this is one flag check — the hot path
+// stays free. Buffered events drain in commit order (drainEmit), so
+// sinks observe exactly the sequence the unbuffered engine produced.
 func (m *Machine) emit(ev Event) {
-	if m.auditor != nil {
-		m.auditor.Observe(ev)
+	if m.emitOn {
+		m.evBuf = append(m.evBuf, ev)
 	}
-	if m.eventLog != nil {
-		m.eventLog(ev)
+}
+
+// drainEmit forwards the buffered events to the auditor and sink in
+// the order they were emitted and recycles the buffer.
+func (m *Machine) drainEmit() {
+	if len(m.evBuf) == 0 {
+		return
 	}
+	for i := range m.evBuf {
+		ev := m.evBuf[i]
+		if m.auditor != nil {
+			m.auditor.Observe(ev)
+		}
+		if m.eventLog != nil {
+			m.eventLog(ev)
+		}
+		m.evBuf[i] = Event{} // drop Body references
+	}
+	m.evBuf = m.evBuf[:0]
+}
+
+// newRec stores r into the slab and returns its index, reusing a
+// free-listed record when one exists.
+func (m *Machine) newRec(r msgRec) int32 {
+	r.next = -1
+	if i := m.recFree; i >= 0 {
+		m.recFree = m.recSlab[i].next
+		m.recSlab[i] = r
+		return i
+	}
+	m.recSlab = append(m.recSlab, r)
+	return int32(len(m.recSlab) - 1)
+}
+
+// appendBuf links the delivered record idx onto p's input FIFO.
+func (m *Machine) appendBuf(p *proc, idx int32) {
+	m.recSlab[idx].next = -1
+	if p.bufTail >= 0 {
+		m.recSlab[p.bufTail].next = idx
+	} else {
+		p.bufHead = idx
+	}
+	p.bufTail = idx
+	p.bufLen++
+}
+
+// popBufFree unlinks p's oldest buffered arrival and recycles its
+// record, which the caller must be done reading. The record is zeroed
+// on its way to the free list so a retained Body does not outlive its
+// acquisition.
+func (m *Machine) popBufFree(p *proc) {
+	i := p.bufHead
+	p.bufHead = m.recSlab[i].next
+	if p.bufHead < 0 {
+		p.bufTail = -1
+	}
+	p.bufLen--
+	m.recSlab[i] = msgRec{next: m.recFree}
+	m.recFree = i
 }
 
 func (m *Machine) allDone() bool {
@@ -437,11 +660,51 @@ func (m *Machine) deadlockError() error {
 	return fmt.Errorf("logp: deadlock: processors %v blocked on Recv, %v blocked on Send, no messages in flight", waitMsg, waitAcc)
 }
 
-// await reads the next request from p's goroutine and records it.
-// This is the single transition into stateReady, so it is also the
-// single point where processors enter the ready heap.
+// localWatermark computes the delivery watermark handed to a fast-path
+// program about to run: no message can reach its input buffer at any
+// instant strictly below the returned value, so Buffered and failing
+// TryRecv resolve proc-side while the local clock stays below it.
+// Three sources bound it. Committed-but-unprocessed events can place a
+// delivery no earlier than the event heap's minimum time. Another
+// ready processor at clock c submits no earlier than c, and every
+// delivery lands strictly after its acceptance, hence at c+1 or later.
+// resumeFloor covers processors the scheduler knows are about to act
+// at a given clock but has not yet re-entered into the ready heap
+// (program startup and the per-instant wake sweeps).
+func (m *Machine) localWatermark() int64 {
+	w := int64(math.MaxInt64)
+	if m.events.len() > 0 {
+		w = m.events.minTime()
+	}
+	if len(m.ready) > 0 && m.ready[0].clock+1 < w {
+		w = m.ready[0].clock + 1
+	}
+	if m.resumeFloor != math.MaxInt64 && m.resumeFloor+1 < w {
+		w = m.resumeFloor + 1
+	}
+	return w
+}
+
+// await obtains the next request from p's program and records it. The
+// fast path resumes the coroutine (running the program inline until
+// its next engine call); the slow path reads the request channel.
+// Local operations the program resolved proc-side since the last
+// crossing are folded into simEvents here, preserving the per-op
+// accounting of the serialized engine.
 func (m *Machine) await(p *proc) {
-	p.pending = <-p.req
+	if p.fast {
+		if _, ok := p.next(); ok {
+			p.pending = p.out
+		} else {
+			p.pending = p.final
+		}
+	} else {
+		p.pending = <-p.req
+	}
+	if p.localOps != 0 {
+		m.simEvents += p.localOps
+		p.localOps = 0
+	}
 	switch p.pending.kind {
 	case opDone:
 		p.state = stateDone
@@ -452,7 +715,6 @@ func (m *Machine) await(p *proc) {
 		p.state = stateDone
 	default:
 		p.state = stateReady
-		m.pushReady(p)
 	}
 }
 
@@ -491,7 +753,17 @@ func (m *Machine) popReady() *proc {
 	n := len(h) - 1
 	h[0] = h[n]
 	h[n] = nil
-	h = h[:n]
+	m.ready = h[:n]
+	m.siftDownReady()
+	return top
+}
+
+// siftDownReady restores the heap property after the root element was
+// replaced (by popReady's tail promotion or by the scheduler's
+// top-replacement handover).
+func (m *Machine) siftDownReady() {
+	h := m.ready
+	n := len(h)
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
@@ -508,19 +780,27 @@ func (m *Machine) popReady() *proc {
 		h[i], h[min] = h[min], h[i]
 		i = min
 	}
-	m.ready = h
-	return top
 }
 
-// resume answers p's pending request and reads the next one.
+// resume answers p's pending request and obtains the next one. The
+// fast path refreshes p's delivery watermark first: the program is
+// about to run ahead of the engine and needs to know below which
+// instant its local view of the input buffer is complete.
 func (m *Machine) resume(p *proc, r response) {
+	if p.fast {
+		p.resp = r
+		p.watermark = m.localWatermark()
+		m.await(p)
+		return
+	}
 	p.res <- r
 	m.await(p)
 }
 
 // exec performs p's pending operation. p must be the ready processor
 // with the minimum local clock, which guarantees that every medium
-// event at or before p.clock has been committed.
+// event at or before p.clock has been committed. Note that exec does
+// not re-enter p into the ready heap; its caller does.
 func (m *Machine) exec(p *proc) {
 	m.simEvents++
 	req := p.pending
@@ -537,8 +817,8 @@ func (m *Machine) exec(p *proc) {
 
 	case opBuffered:
 		n := int64(0)
-		for _, a := range p.buf {
-			if a.at > p.clock {
+		for i := p.bufHead; i >= 0; i = m.recSlab[i].next {
+			if m.recSlab[i].at > p.clock {
 				break
 			}
 			n++
@@ -555,25 +835,31 @@ func (m *Machine) exec(p *proc) {
 		p.state = stateWaitAccept
 		m.totalMsgs++
 		m.msgSeq++
-		m.emit(Event{Time: s, Kind: EvSubmit, Seq: m.msgSeq, Msg: req.msg})
-		m.push(event{time: s, kind: evSubmission, msg: req.msg, subAt: s, msgID: m.msgSeq})
+		if m.emitOn {
+			m.emit(Event{Time: s, Kind: EvSubmit, Seq: m.msgSeq, Msg: req.msg})
+		}
+		m.pushEvent(s, evSubmission, m.newRec(msgRec{msg: req.msg, at: s, msgID: m.msgSeq}))
 
 	case opRecv:
-		if len(p.buf) > 0 {
+		if p.bufLen > 0 {
 			m.completeRecv(p)
 		} else {
 			p.state = stateWaitMsg
 		}
 
 	case opTryRecv:
-		if len(p.buf) > 0 && p.buf[0].at <= p.clock && p.nextComm <= p.clock {
-			head := p.popBuf()
+		if p.bufLen > 0 && m.recSlab[p.bufHead].at <= p.clock && p.nextComm <= p.clock {
+			head := &m.recSlab[p.bufHead]
 			r := p.clock
-			m.emit(Event{Time: r, Kind: EvAcquire, Seq: head.msgID, Msg: head.msg})
+			if m.emitOn {
+				m.emit(Event{Time: r, Kind: EvAcquire, Seq: head.msgID, Msg: head.msg})
+			}
 			p.clock = r + m.params.O
 			p.nextComm = r + m.params.G
 			p.recvd++
-			m.resume(p, response{msg: head.msg, ok: true})
+			msg := head.msg
+			m.popBufFree(p)
+			m.resume(p, response{msg: msg, ok: true})
 		} else {
 			p.clock++ // one polling cycle, so busy-wait loops consume time
 			m.resume(p, response{})
@@ -585,9 +871,9 @@ func (m *Machine) exec(p *proc) {
 }
 
 // completeRecv acquires the oldest buffered message for p and resumes
-// its goroutine.
+// its program.
 func (m *Machine) completeRecv(p *proc) {
-	head := p.popBuf()
+	head := &m.recSlab[p.bufHead]
 	r := p.clock
 	if head.at > r {
 		r = head.at
@@ -595,12 +881,16 @@ func (m *Machine) completeRecv(p *proc) {
 	if p.nextComm > r {
 		r = p.nextComm
 	}
-	m.emit(Event{Time: r, Kind: EvAcquire, Seq: head.msgID, Msg: head.msg})
+	if m.emitOn {
+		m.emit(Event{Time: r, Kind: EvAcquire, Seq: head.msgID, Msg: head.msg})
+	}
 	p.clock = r + m.params.O
 	p.nextComm = r + m.params.G
 	p.recvd++
 	p.state = stateReady
-	m.resume(p, response{msg: head.msg, ok: true})
+	msg := head.msg
+	m.popBufFree(p)
+	m.resume(p, response{msg: msg, ok: true})
 }
 
 // processInstant commits every medium event scheduled at the earliest
@@ -610,55 +900,50 @@ func (m *Machine) completeRecv(p *proc) {
 // Processors whose blocking operation completed are woken afterwards in
 // id order.
 func (m *Machine) processInstant(t int64) {
-	capacity := m.params.Capacity()
-	m.dirtyList = m.dirtyList[:0]
-	m.wakeRecv = m.wakeRecv[:0]
-	m.wakeSend = m.wakeSend[:0]
+	capacity := m.capacity
+	// Processors woken below act at instant t; until each is back in
+	// the ready heap, the floor keeps run-ahead peers honest.
+	m.resumeFloor = t
 
-	for len(m.events) > 0 && m.events[0].time == t {
-		ev := m.events.popMin()
+	for m.events.len() > 0 && m.events.minTime() == t {
+		ref := m.events.popMin()
 		m.simEvents++
-		dst := ev.msg.Dst
-		switch ev.kind {
-		case evDelivery:
+		rec := &m.recSlab[ref.idx]
+		dst := rec.msg.Dst
+		if ref.eventKind() == evDelivery {
 			m.inTransit[dst]--
 			m.releaseSlot(dst, t)
-			m.emit(Event{Time: t, Kind: EvDeliver, Seq: ev.msgID, Msg: ev.msg})
+			if m.emitOn {
+				m.emit(Event{Time: t, Kind: EvDeliver, Seq: rec.msgID, Msg: rec.msg})
+			}
 			p := m.procs[dst]
-			p.buf = append(p.buf, arrived{msg: ev.msg, at: t, msgID: ev.msgID})
-			if len(p.buf) > m.maxBuf {
-				m.maxBuf = len(p.buf)
+			rec.at = t
+			m.appendBuf(p, ref.idx)
+			if p.bufLen > m.maxBuf {
+				m.maxBuf = p.bufLen
 			}
 			m.lastDelivery = t
-			if !m.dirtyFlag[dst] {
-				m.dirtyFlag[dst] = true
-				m.dirtyList = append(m.dirtyList, dst)
-			}
+			m.dirtyBits[dst>>6] |= 1 << (uint(dst) & 63)
 			if p.state == stateWaitMsg {
-				m.wakeRecv = append(m.wakeRecv, p)
+				m.wakeRecvBits[dst>>6] |= 1 << (uint(dst) & 63)
 			}
-		case evSubmission:
+		} else {
+			// Insert keeping FIFO order by (subAt, src); rec.at is the
+			// submission instant while the record waits for acceptance.
 			q := m.pendingQ[dst]
-			sub := pendingSub{msg: ev.msg, subAt: ev.subAt, msgID: ev.msgID}
-			// Insert keeping FIFO order by (subAt, src).
 			i := len(q)
-			for i > 0 && less(sub, q[i-1]) {
+			for i > 0 && m.subBefore(ref.idx, q[i-1]) {
 				i--
 			}
-			q = append(q, pendingSub{})
+			q = append(q, 0)
 			copy(q[i+1:], q[i:])
-			q[i] = sub
+			q[i] = ref.idx
 			m.pendingQ[dst] = q
-			if !m.dirtyFlag[dst] {
-				m.dirtyFlag[dst] = true
-				m.dirtyList = append(m.dirtyList, dst)
-			}
+			m.dirtyBits[dst>>6] |= 1 << (uint(dst) & 63)
 		}
 	}
 
-	sort.Ints(m.dirtyList)
-	for _, dst := range m.dirtyList {
-		m.dirtyFlag[dst] = false
+	for dst := range eachBit(m.dirtyBits) {
 		for m.inTransit[dst] < capacity && len(m.pendingQ[dst]) > 0 {
 			q := m.pendingQ[dst]
 			idx := 0
@@ -668,11 +953,13 @@ func (m *Machine) processInstant(t int64) {
 			case AcceptRandom:
 				idx = m.rng.Intn(len(q))
 			}
-			sub := q[idx]
-			m.pendingQ[dst] = append(q[:idx], q[idx+1:]...)
+			ri := q[idx]
+			copy(q[idx:], q[idx+1:])
+			m.pendingQ[dst] = q[:len(q)-1]
+			sub := &m.recSlab[ri]
 			sender := m.procs[sub.msg.Src]
-			if t > sub.subAt {
-				sender.stallCycles += t - sub.subAt
+			if t > sub.at {
+				sender.stallCycles += t - sub.at
 				sender.stallEvents++
 				m.stallEvents++
 			}
@@ -682,48 +969,82 @@ func (m *Machine) processInstant(t int64) {
 			if m.inTransit[dst] > capacity {
 				panic(fmt.Sprintf("logp: capacity constraint violated at destination %d (bug)", dst))
 			}
-			m.emit(Event{Time: t, Kind: EvAccept, Seq: sub.msgID, Msg: sub.msg})
-			m.push(event{time: d, kind: evDelivery, msg: sub.msg, msgID: sub.msgID})
-			m.wakeSend = append(m.wakeSend, sender)
+			if m.emitOn {
+				m.emit(Event{Time: t, Kind: EvAccept, Seq: sub.msgID, Msg: sub.msg})
+			}
+			m.pushEvent(d, evDelivery, ri)
+			sid := sub.msg.Src
+			m.wakeSendBits[sid>>6] |= 1 << (uint(sid) & 63)
 		}
 	}
 
-	sortProcsByID(m.wakeSend)
-	for _, p := range m.wakeSend {
+	for id := range eachBit(m.wakeSendBits) {
+		p := m.procs[id]
 		p.clock = t // acceptance instant; stall cycles already accounted
 		p.sent++
 		p.state = stateReady
 		m.resume(p, response{})
+		if p.state == stateReady {
+			m.pushReady(p)
+		}
 	}
 
-	sortProcsByID(m.wakeRecv)
-	for _, p := range m.wakeRecv {
-		if p.state == stateWaitMsg && len(p.buf) > 0 {
+	for id := range eachBit(m.wakeRecvBits) {
+		p := m.procs[id]
+		if p.state == stateWaitMsg && p.bufLen > 0 {
 			m.completeRecv(p)
+			if p.state == stateReady {
+				m.pushReady(p)
+			}
+		}
+	}
+	m.resumeFloor = math.MaxInt64
+	m.drainEmit()
+}
+
+// reuseWords returns a zeroed word slice of length n, reusing s's
+// backing array when it is large enough.
+func reuseWords(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// eachBit iterates the set bits of a per-processor bitset in ascending
+// id order — the order the former sorted wake lists produced — and
+// clears each word as it is consumed, leaving the set empty.
+func eachBit(words []uint64) func(func(int) bool) {
+	return func(yield func(int) bool) {
+		for w := range words {
+			word := words[w]
+			words[w] = 0
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				if !yield(w<<6 | b) {
+					// Restore the unconsumed remainder so the scratch
+					// stays consistent on early exit.
+					words[w] = word
+					return
+				}
+			}
 		}
 	}
 }
 
-// sortProcsByID is an allocation-free insertion sort for the short
-// per-instant wake lists (sort.Slice would allocate its closure on the
-// hot path).
-func sortProcsByID(ps []*proc) {
-	for i := 1; i < len(ps); i++ {
-		p := ps[i]
-		j := i - 1
-		for j >= 0 && ps[j].id > p.id {
-			ps[j+1] = ps[j]
-			j--
-		}
-		ps[j+1] = p
+// subBefore orders pending submissions by (submission instant, source
+// id), the Stalling Rule's FIFO key.
+func (m *Machine) subBefore(a, b int32) bool {
+	ra, rb := &m.recSlab[a], &m.recSlab[b]
+	if ra.at != rb.at {
+		return ra.at < rb.at
 	}
-}
-
-func less(a, b pendingSub) bool {
-	if a.subAt != b.subAt {
-		return a.subAt < b.subAt
-	}
-	return a.msg.Src < b.msg.Src
+	return ra.msg.Src < rb.msg.Src
 }
 
 // chooseSlot picks a free delivery instant in (a, a+L] for destination
@@ -776,38 +1097,43 @@ const (
 	evSubmission
 )
 
-type event struct {
-	time  int64
-	kind  eventKind
-	seq   int64
-	msg   Message
-	subAt int64
-	msgID int64
+// eventRef is a heap entry: the (time, kind, seq) sort key plus the
+// slab index of the message record the event concerns. Sift operations
+// move these 24-byte entries instead of full message records, so the
+// heap neither copies Messages around nor allocates per event. ks
+// packs kind and commit sequence into one comparison: kind occupies
+// bit 62 (deliveries before submissions within an instant) above the
+// per-run commit counter, which resets every Run and cannot reach
+// 2^62.
+type eventRef struct {
+	time int64
+	ks   int64
+	idx  int32
 }
 
-// eventHeap is a binary min-heap of medium events ordered by
-// (time, kind, seq) — deliveries before submissions within an instant,
-// then commit order. It is hand-rolled rather than container/heap so
-// pushes and pops move concrete event values without boxing them into
-// interfaces (the old heap.Pop allocated on every committed event).
-type eventHeap []event
+func (r eventRef) eventKind() eventKind { return eventKind(r.ks >> 62) }
 
-func (h eventHeap) before(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+type eventHeap []eventRef
+
+func (h eventHeap) len() int { return len(h) }
+
+// minTime returns the earliest pending event time; the heap must be
+// non-empty.
+func (h eventHeap) minTime() int64 { return h[0].time }
+
+func refBefore(a, b eventRef) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	if h[i].kind != h[j].kind {
-		return h[i].kind < h[j].kind
-	}
-	return h[i].seq < h[j].seq
+	return a.ks < b.ks
 }
 
-func (h *eventHeap) push(ev event) {
-	a := append(*h, ev)
+func (h *eventHeap) push(ref eventRef) {
+	a := append(*h, ref)
 	i := len(a) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !a.before(i, parent) {
+		if !refBefore(a[i], a[parent]) {
 			break
 		}
 		a[i], a[parent] = a[parent], a[i]
@@ -816,21 +1142,20 @@ func (h *eventHeap) push(ev event) {
 	*h = a
 }
 
-func (h *eventHeap) popMin() event {
+func (h *eventHeap) popMin() eventRef {
 	a := *h
 	top := a[0]
 	n := len(a) - 1
 	a[0] = a[n]
-	a[n] = event{}
 	a = a[:n]
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		min := i
-		if l < n && a.before(l, min) {
+		if l < n && refBefore(a[l], a[min]) {
 			min = l
 		}
-		if r < n && a.before(r, min) {
+		if r < n && refBefore(a[r], a[min]) {
 			min = r
 		}
 		if min == i {
@@ -843,8 +1168,7 @@ func (h *eventHeap) popMin() event {
 	return top
 }
 
-func (m *Machine) push(ev event) {
-	ev.seq = m.seq
+func (m *Machine) pushEvent(t int64, kind eventKind, idx int32) {
+	m.events.push(eventRef{time: t, ks: int64(kind)<<62 | m.seq, idx: idx})
 	m.seq++
-	m.events.push(ev)
 }

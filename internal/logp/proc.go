@@ -76,10 +76,15 @@ type response struct {
 	msg Message
 	ok  bool
 	n   int64
-	// poison tells the program goroutine to unwind: the engine is
-	// shutting down and will never answer another request.
+	// poison tells a slow-path program goroutine to unwind: the
+	// engine is shutting down and will never answer another request.
 	poison bool
 }
+
+// token is the zero-size value exchanged over the fast path's
+// coroutine switch; the actual request and response ride in proc
+// fields (see proc.out and proc.resp).
+type token = struct{}
 
 type procState uint8
 
@@ -90,23 +95,18 @@ const (
 	stateDone
 )
 
-// arrived is a delivered message waiting in a processor's input buffer.
-type arrived struct {
+// msgRec is one message's slab record (Machine.recSlab), reused across
+// the message's whole lifecycle without copying: while pending, at
+// holds the submission instant (the Stalling Rule's FIFO key and stall
+// baseline); in flight, the record is referenced by its delivery
+// event; once delivered, at holds the arrival instant and next chains
+// the record into the destination's input FIFO. Freed records chain
+// through next into the machine's free list.
+type msgRec struct {
 	msg   Message
 	at    int64
 	msgID int64
-}
-
-// popBuf removes and returns the oldest buffered arrival. The vacated
-// head is zeroed so a retained Body does not outlive its acquisition.
-func (p *proc) popBuf() arrived {
-	head := p.buf[0]
-	p.buf[0] = arrived{}
-	p.buf = p.buf[1:]
-	if len(p.buf) == 0 {
-		p.buf = nil
-	}
-	return head
+	next  int32
 }
 
 // proc is the engine-side representation of a processor; it also
@@ -124,15 +124,52 @@ type proc struct {
 	// processor, not merely two submissions or two acquisitions.
 	nextComm int64
 
-	buf []arrived // input buffer, FIFO in delivery order
+	// Fast-path local view. watermark is the delivery watermark the
+	// engine computed when it last resumed this processor: no message
+	// can reach the input buffer at any instant strictly below it, so
+	// Buffered and failing TryRecv resolve proc-side while clock stays
+	// below the watermark. localOps counts operations resolved
+	// proc-side since the last engine crossing; the count is flushed
+	// into the machine's simEvents at the next yield (Send, Recv,
+	// successful TryRecv, a watermark miss, or termination).
+	watermark int64
+	localOps  int64
+
+	// Input buffer: an intrusive FIFO through Machine.recSlab, in
+	// delivery order. bufHead/bufTail are -1 when empty.
+	bufHead int32
+	bufTail int32
+	bufLen  int
 
 	state   procState
 	pending request
+	// final carries the coroutine's terminal request (opDone or
+	// opPanic): a finished coroutine cannot yield, so its epilogue
+	// records the outcome here for the engine to read.
+	final request
 
 	sent, recvd int64
 	stallCycles int64
 	stallEvents int64
 
+	// Fast path: the program runs as a coroutine. yield parks the
+	// program until the engine answers in resp; next resumes the
+	// program until its next request; stop unwinds it. The request
+	// itself travels through the out field rather than the yield
+	// value — yielding a zero-size token keeps the ~90-byte request
+	// struct from being copied through the iter.Pull plumbing twice
+	// per crossing. Exactly one of (engine, program) runs at any time
+	// and the coroutine switch orders their memory accesses, so these
+	// unsynchronized fields are race-free.
+	next  func() (token, bool)
+	stop  func()
+	yield func(token) bool
+	out   request
+	resp  response
+	fast  bool
+
+	// Slow path (WithSlowPath): the original per-op channel
+	// rendezvous, kept alive as a differential-testing oracle.
 	req chan request
 	res chan response
 }
@@ -144,12 +181,20 @@ func (p *proc) P() int         { return p.m.params.P }
 func (p *proc) Params() Params { return p.m.params }
 func (p *proc) Now() int64     { return p.clock }
 
-// call hands r to the engine and blocks for the answer. Plain channel
+// call hands r to the engine and blocks for the answer. On the fast
+// path that is one coroutine switch; on the slow path, plain channel
 // operations suffice — no select on a shutdown channel — because the
-// engine is always parked in await(p) while p's program code runs, so
+// engine is always parked awaiting p while p's program code runs, so
 // the request send cannot block past shutdown, and a response always
 // arrives: either a real one or the shutdown sweep's poison.
 func (p *proc) call(r request) response {
+	if p.fast {
+		p.out = r
+		if !p.yield(token{}) {
+			panic(errStopped)
+		}
+		return p.resp
+	}
 	p.req <- r
 	v := <-p.res
 	if v.poison {
@@ -165,10 +210,25 @@ func (p *proc) Compute(n int64) {
 	if n == 0 {
 		return
 	}
+	if p.fast {
+		// Local work touches only this processor's clock; it commutes
+		// with every other processor's operations, so it never needs
+		// the engine.
+		p.clock += n
+		p.localOps++
+		return
+	}
 	p.call(request{kind: opCompute, n: n})
 }
 
 func (p *proc) WaitUntil(t int64) {
+	if p.fast {
+		if t > p.clock {
+			p.clock = t
+		}
+		p.localOps++
+		return
+	}
 	p.call(request{kind: opIdle, n: t})
 }
 
@@ -193,10 +253,56 @@ func (p *proc) Recv() Message {
 }
 
 func (p *proc) TryRecv() (Message, bool) {
+	if p.fast {
+		if p.bufLen > 0 {
+			// The buffer only grows while the program runs ahead, and
+			// arrivals keep at <= clock (engine invariant), so a
+			// locally visible head decides the poll: success must
+			// cross into the engine (it mutates the buffer and emits
+			// the acquisition), but a gap violation fails locally no
+			// matter what else arrives.
+			if p.nextComm > p.clock {
+				p.clock++ // one polling cycle
+				p.localOps++
+				return Message{}, false
+			}
+		} else if p.clock < p.watermark {
+			// Nothing buffered and nothing can arrive below the
+			// watermark: the poll fails without consulting the engine.
+			p.clock++
+			p.localOps++
+			return Message{}, false
+		}
+	}
 	r := p.call(request{kind: opTryRecv})
 	return r.msg, r.ok
 }
 
 func (p *proc) Buffered() int {
+	if p.fast && p.clock < p.watermark {
+		// Every arrival at or before clock is already in the local
+		// view (none can land below the watermark), and buffered
+		// arrivals never exceed the owner's clock, so the list length
+		// is the answer.
+		p.localOps++
+		return p.bufLen
+	}
 	return int(p.call(request{kind: opBuffered}).n)
+}
+
+// reinit prepares the pooled proc struct for a fresh Run.
+func (p *proc) reinit(slow bool) {
+	p.clock = 0
+	p.nextComm = 0
+	p.watermark = 0
+	p.localOps = 0
+	p.bufHead, p.bufTail, p.bufLen = -1, -1, 0
+	p.state = stateReady
+	p.pending = request{}
+	p.final = request{}
+	p.sent, p.recvd = 0, 0
+	p.stallCycles, p.stallEvents = 0, 0
+	p.next, p.stop, p.yield = nil, nil, nil
+	p.resp = response{}
+	p.fast = !slow
 }

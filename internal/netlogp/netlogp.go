@@ -17,6 +17,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"iter"
 	"math"
 	"sort"
 
@@ -63,9 +64,8 @@ func (m *Machine) Run(prog logp.Program) (Result, error) {
 	eng := &engine{
 		params:  m.params,
 		stepper: m.net.NewStepper(),
-		stopc:   make(chan struct{}),
 	}
-	defer close(eng.stopc)
+	defer eng.shutdown()
 	if err := eng.run(prog); err != nil {
 		return Result{}, err
 	}
@@ -103,7 +103,6 @@ type engine struct {
 	maxLat     int64
 	sumLat     int64
 
-	stopc   chan struct{}
 	procErr error
 }
 
@@ -156,11 +155,27 @@ type nproc struct {
 	// gap stream, as in the logp engine.
 	nextComm int64
 	buf      []narrived
-	state   nstate
-	pending nreq
-	req     chan nreq
-	res     chan nres
+	state    nstate
+	pending  nreq
+	// The program runs as an iter.Pull coroutine, as in the logp
+	// engine's fast path: next resumes the program until its next
+	// engine call, which stores the request in out, yields, and reads
+	// the answer from resp; stop unwinds a still-parked program. A
+	// finished coroutine cannot yield its terminal state, so the
+	// epilogue records it in final. Exactly one of (engine, program)
+	// runs at any time, so the unsynchronized fields are race-free.
+	next  func() (token, bool)
+	stop  func()
+	yield func(token) bool
+	out   nreq
+	resp  nres
+	final nreq
 }
+
+// token is the zero-size value exchanged over the coroutine switch;
+// requests and responses ride in nproc fields instead of being copied
+// through the iter.Pull plumbing.
+type token = struct{}
 
 type nop uint8
 
@@ -201,16 +216,41 @@ func (p *nproc) Recv() logp.Message  { return p.call(nreq{op: nRecv}).msg }
 func (p *nproc) Buffered() int       { return int(p.call(nreq{op: nBuffered}).n) }
 
 func (p *nproc) call(r nreq) nres {
-	select {
-	case p.req <- r:
-	case <-p.eng.stopc:
+	p.out = r
+	if !p.yield(token{}) {
 		panic(errStopped)
 	}
-	select {
-	case v := <-p.res:
-		return v
-	case <-p.eng.stopc:
-		panic(errStopped)
+	return p.resp
+}
+
+// sequence adapts prog to the coroutine protocol; see nproc.
+func (p *nproc) sequence(prog logp.Program) iter.Seq[token] {
+	return func(yield func(token) bool) {
+		p.yield = yield
+		defer func() {
+			switch r := recover(); {
+			case r == nil:
+				p.final = nreq{op: nOpDone}
+			case isStopped(r):
+				// Unwound by shutdown; the engine no longer reads.
+			default:
+				p.final = nreq{op: nOpPanic, err: fmt.Errorf("netlogp: processor %d panicked: %v", p.id, r)}
+			}
+		}()
+		prog(p)
+	}
+}
+
+func isStopped(r interface{}) bool {
+	err, ok := r.(error)
+	return ok && errors.Is(err, errStopped)
+}
+
+func (e *engine) shutdown() {
+	for _, p := range e.procs {
+		if p.stop != nil {
+			p.stop()
+		}
 	}
 }
 
@@ -250,28 +290,9 @@ func (e *engine) run(prog logp.Program) error {
 	e.procs = make([]*nproc, n)
 	e.inFlight = map[int64]flight{}
 	for i := 0; i < n; i++ {
-		p := &nproc{id: i, eng: e, req: make(chan nreq), res: make(chan nres)}
+		p := &nproc{id: i, eng: e}
 		e.procs[i] = p
-		go func(p *nproc) {
-			defer func() {
-				r := recover()
-				if r == nil {
-					select {
-					case p.req <- nreq{op: nOpDone}:
-					case <-e.stopc:
-					}
-					return
-				}
-				if err, ok := r.(error); ok && errors.Is(err, errStopped) {
-					return
-				}
-				select {
-				case p.req <- nreq{op: nOpPanic, err: fmt.Errorf("netlogp: processor %d panicked: %v", p.id, r)}:
-				case <-e.stopc:
-				}
-			}()
-			prog(p)
-		}(p)
+		p.next, p.stop = iter.Pull(p.sequence(prog))
 		e.await(p)
 	}
 
@@ -354,22 +375,19 @@ func (e *engine) advanceTo(t int64) {
 }
 
 func (e *engine) await(p *nproc) {
-	p.pending = <-p.req
-	switch p.pending.op {
-	case nOpDone:
-		p.state = nDone
-	case nOpPanic:
-		if e.procErr == nil {
-			e.procErr = p.pending.err
-		}
-		p.state = nDone
-	default:
+	if _, ok := p.next(); ok {
+		p.pending = p.out
 		p.state = nReady
+		return
+	}
+	p.state = nDone
+	if p.final.op == nOpPanic && e.procErr == nil {
+		e.procErr = p.final.err
 	}
 }
 
 func (e *engine) resume(p *nproc, r nres) {
-	p.res <- r
+	p.resp = r
 	e.await(p)
 }
 

@@ -83,9 +83,20 @@ func (r Relation) MaxOut() int {
 	return m
 }
 
-// BySource groups the pairs by source processor.
+// BySource groups the pairs by source processor. The groups share one
+// backing array, sized by a counting pass, so the call allocates O(1)
+// slices however large the relation.
 func (r Relation) BySource() [][]Pair {
+	counts := make([]int, r.P)
+	for _, pr := range r.Pairs {
+		counts[pr.Src]++
+	}
+	backing := make([]Pair, 0, len(r.Pairs))
 	out := make([][]Pair, r.P)
+	for i := 0; i < r.P; i++ {
+		out[i] = backing[len(backing) : len(backing) : len(backing)+counts[i]]
+		backing = backing[:len(backing)+counts[i]]
+	}
 	for _, pr := range r.Pairs {
 		out[pr.Src] = append(out[pr.Src], pr)
 	}

@@ -15,6 +15,7 @@ package sortnet
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Comparator is one merge-split link of a network round: processors A
@@ -40,6 +41,12 @@ func BitonicSchedule(p int) [][]Comparator {
 	if !IsPow2(p) {
 		panic(fmt.Sprintf("sortnet: BitonicSchedule needs a power-of-two processor count, got %d", p))
 	}
+	// The schedule is a pure function of p and every processor of every
+	// cross-simulation asks for it once per superstep, so memoize it.
+	// Cached schedules are shared: callers must treat them as read-only.
+	if v, ok := schedCache.Load(p); ok {
+		return v.([][]Comparator)
+	}
 	var rounds [][]Comparator
 	for k := 2; k <= p; k <<= 1 {
 		for j := k >> 1; j > 0; j >>= 1 {
@@ -59,8 +66,13 @@ func BitonicSchedule(p int) [][]Comparator {
 			rounds = append(rounds, round)
 		}
 	}
-	return rounds
+	v, _ := schedCache.LoadOrStore(p, rounds)
+	return v.([][]Comparator)
 }
+
+// schedCache memoizes BitonicSchedule by p; machines may run on
+// concurrent goroutines, hence the sync.Map.
+var schedCache sync.Map
 
 // BitonicDepth returns the number of rounds of BitonicSchedule(p):
 // log2(p)*(log2(p)+1)/2.
