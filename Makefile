@@ -2,13 +2,22 @@
 
 GO ?= go
 
-.PHONY: all test race fuzz audit audit-report bench bench-smoke bench-netsim bench-report bench-diff experiments examples cover clean
+.PHONY: all test lint race fuzz audit audit-report bench bench-smoke bench-netsim bench-report bench-diff experiments examples cover clean
 
 all: test
 
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
+
+# Static analysis: go vet plus the project's own go/analysis suite
+# (determinism, procshare, apidiscipline, costcharge — see DESIGN.md),
+# and a gofmt check. bsplogpvet exits 1 on any finding.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/bsplogpvet ./...
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 
 race:
 	$(GO) test -race ./...

@@ -44,18 +44,18 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("naive all-to-one:     T = %5d  stallEvents = %3d  stallCycles = %5d (G*h = %d, G*h^2 = %d)\n",
-		nres.Time, nres.StallEvents, nres.StallCycles, lp.G*total, lp.G*total*total)
+		nres.Time, nres.StallEvents, nres.StallCycles, lp.GapTime(total), lp.GapTime(total*total))
 
 	// Stall-free alternative: stagger senders into waves of at most
-	// ceil(L/G) concurrent messages, one wave per L+G window.
+	// ceil(L/G) concurrent messages, one wave per stall window.
 	capacity := lp.Capacity()
-	window := lp.L + lp.G*capacity
+	window := lp.StallWindow()
 	staged := func(p logp.Proc) {
 		if p.ID() != hot {
 			for k := 0; k < perSender; k++ {
 				idx := int64(p.ID()*perSender + k)
 				wave := idx / capacity
-				p.WaitUntil(wave*window - lp.O)
+				p.WaitUntil(lp.SubmitAt(wave * window))
 				p.Send(hot, 0, idx, 0)
 			}
 			return

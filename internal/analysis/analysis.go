@@ -1,0 +1,27 @@
+// Package analysis collects the bsplogpvet analyzer suite: the static
+// counterpart of the runtime trace Auditor and the fast-path
+// differential fuzzer. Where those catch a determinism or
+// model-discipline bug only once it manifests in a run, these analyzers
+// reject the source constructs that cause such bugs before anything
+// executes (the BSF verification line of work argues for exactly this
+// source-level layer). See each sub-package for the invariant it
+// enforces and its justification in the paper's model.
+package analysis
+
+import (
+	"repro/internal/analysis/apidiscipline"
+	"repro/internal/analysis/costcharge"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/kit"
+	"repro/internal/analysis/procshare"
+)
+
+// All returns the full bsplogpvet suite in reporting order.
+func All() []*kit.Analyzer {
+	return []*kit.Analyzer{
+		determinism.Analyzer,
+		procshare.Analyzer,
+		apidiscipline.Analyzer,
+		costcharge.Analyzer,
+	}
+}

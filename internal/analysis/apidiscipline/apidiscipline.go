@@ -1,0 +1,202 @@
+// Package apidiscipline flags misuse of the simulator APIs that the
+// type system cannot express:
+//
+//   - dropped ok/err results from Recv/Try* calls: bsp.Proc.Recv and
+//     TryRecv-style methods report in their last result whether a
+//     message actually arrived; calling them as a bare statement
+//     silently conflates "drained one message" with "inbox was empty",
+//     which corrupts h-relation accounting downstream;
+//   - engine-internal identifiers reached from outside the engine
+//     family: a few exported hooks (Machine.SetSeed for cross-simulator
+//     reuse, WithSlowPath as the differential-fuzzing oracle) exist for
+//     the engines and their tests, and leak nondeterminism or
+//     double-charging when called from experiment code;
+//   - audit hooks attached after a machine run has already happened in
+//     the same function: logp.EnableAudit feeds on events emitted
+//     during Run, so enabling it afterwards yields a summary that
+//     silently misses the runs before it.
+package apidiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/kit"
+)
+
+// Analyzer is the apidiscipline check.
+var Analyzer = &kit.Analyzer{
+	Name: "apidiscipline",
+	Doc: "forbid dropped Recv/Try* ok results, out-of-engine use of " +
+		"engine-internal identifiers, and audit hooks attached after Run",
+	Run: run,
+}
+
+// enginePrefixes is the package family allowed to touch engine-internal
+// identifiers.
+var enginePrefixes = []string{
+	"repro/internal/logp", "repro/internal/bsp",
+	"repro/internal/core", "repro/internal/netlogp",
+}
+
+// engineInternal maps qualified names of engine-internal identifiers to
+// the reason using them outside the engine family is a bug. The same
+// symbols carry a "bsplogpvet: engine-internal" note in their doc
+// comments; export data strips comments, so the table is the source of
+// truth the analyzer checks.
+var engineInternal = map[string]string{
+	"(repro/internal/logp.Machine).SetSeed": "reseeding mid-experiment silently forks the trace from the configured seed; pass logp.WithSeed at construction instead",
+	"repro/internal/logp.WithSlowPath":      "the slow path exists as the differential-fuzzing oracle; experiments must measure the shipped fast path",
+}
+
+func run(pass *kit.Pass) {
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkDroppedResult(pass, n)
+			case *ast.SelectorExpr:
+				checkInternalReach(pass, n.Sel)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkLateAudit(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkLateAudit(pass, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkDroppedResult flags `p.Recv()` / `mb.TryRecv()`-style calls used
+// as bare statements when their last result is a bool or error.
+func checkDroppedResult(pass *kit.Pass, stmt *ast.ExprStmt) {
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	name := fn.Name()
+	if name != "Recv" && !strings.HasPrefix(name, "Try") {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() < 2 {
+		return
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !isBoolOrError(last) {
+		return
+	}
+	pass.Reportf(stmt.Pos(),
+		"result of %s dropped: its trailing %s result says whether a message actually arrived; assign it and handle the empty case (or discard explicitly with _, _ =)", name, last)
+}
+
+// checkInternalReach flags uses of engine-internal identifiers from
+// outside the engine package family.
+func checkInternalReach(pass *kit.Pass, sel *ast.Ident) {
+	obj := pass.ObjectOf(sel)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	reason, ok := engineInternal[qualifiedName(fn)]
+	if !ok {
+		return
+	}
+	path := pass.TypesPkg().Path()
+	for _, pre := range enginePrefixes {
+		if path == pre || strings.HasPrefix(path, pre+"/") {
+			return
+		}
+	}
+	pass.Reportf(sel.Pos(), "%s is engine-internal: %s", fn.Name(), reason)
+}
+
+// qualifiedName renders fn as "pkgpath.Func" or "(pkgpath.Recv).Method".
+func qualifiedName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return ""
+		}
+		return "(" + fn.Pkg().Path() + "." + named.Obj().Name() + ")." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// checkLateAudit flags logp.EnableAudit calls that appear after a
+// machine Run call in the same function body.
+func checkLateAudit(pass *kit.Pass, body *ast.BlockStmt) {
+	var firstRun token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false // nested function bodies are checked separately
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if fn.Name() == "Run" && isEnginePkg(fn.Pkg().Path()) {
+			if firstRun == token.NoPos || call.Pos() < firstRun {
+				firstRun = call.Pos()
+			}
+			return true
+		}
+		if fn.Name() == "EnableAudit" && fn.Pkg().Path() == "repro/internal/logp" &&
+			firstRun != token.NoPos && call.Pos() > firstRun {
+			pass.Reportf(call.Pos(),
+				"EnableAudit attached after a machine Run in this function: the audit hook only sees events emitted after it is enabled, so the earlier run is silently missing from the summary; enable auditing before the first Run")
+		}
+		return true
+	})
+}
+
+func isEnginePkg(path string) bool {
+	switch path {
+	case "repro/internal/logp", "repro/internal/bsp", "repro/internal/core",
+		"repro/internal/netlogp", "repro/internal/netrun":
+		return true
+	}
+	return false
+}
+
+// calleeFunc resolves the called function or method, or nil.
+func calleeFunc(pass *kit.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+func isBoolOrError(t types.Type) bool {
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.Bool {
+		return true
+	}
+	return t.String() == "error"
+}

@@ -1,0 +1,36 @@
+// Package api_a is the failing fixture for the apidiscipline analyzer:
+// dropped ok results, engine-internal identifiers reached from
+// experiment-level code, and an audit hook attached after a run.
+package api_a
+
+import (
+	"repro/internal/bsp"
+	"repro/internal/logp"
+)
+
+// mailbox stands in for TryRecv-style buffered receivers.
+type mailbox struct{}
+
+func (mailbox) TryRecv() (logp.Message, bool) { return logp.Message{}, false }
+
+func droppedResults(p bsp.Proc, mb mailbox) {
+	p.Recv()     // want `result of Recv dropped`
+	mb.TryRecv() // want `result of TryRecv dropped`
+	if _, ok := p.Recv(); ok {
+		return // assigning the ok result is the conforming form
+	}
+}
+
+func internalReach(m *logp.Machine) {
+	m.SetSeed(42) // want `SetSeed is engine-internal`
+	m2 := logp.NewMachine(logp.Params{P: 2, L: 8, O: 1, G: 2},
+		logp.WithSlowPath()) // want `WithSlowPath is engine-internal`
+	_ = m2
+}
+
+func lateAudit(m *logp.Machine, prog logp.Program) {
+	if _, err := m.Run(prog); err != nil {
+		return
+	}
+	logp.EnableAudit(logp.AuditConfig{}) // want `EnableAudit attached after a machine Run`
+}

@@ -1,0 +1,40 @@
+// Package api_clean is the negative fixture for the apidiscipline
+// analyzer: the conforming forms of everything api_a flags.
+package api_clean
+
+import (
+	"repro/internal/bsp"
+	"repro/internal/logp"
+)
+
+type mailbox struct{}
+
+func (mailbox) TryRecv() (logp.Message, bool) { return logp.Message{}, false }
+
+// handledResults consumes the ok result, or discards it explicitly.
+func handledResults(p bsp.Proc, mb mailbox) int64 {
+	var sum int64
+	for {
+		m, ok := p.Recv()
+		if !ok {
+			break
+		}
+		sum += m.Payload
+	}
+	_, _ = mb.TryRecv() // explicit discard is a visible decision
+	return sum
+}
+
+// seedAtConstruction configures the seed the supported way.
+func seedAtConstruction(seed uint64) *logp.Machine {
+	return logp.NewMachine(logp.Params{P: 2, L: 8, O: 1, G: 2}, logp.WithSeed(seed))
+}
+
+// auditBeforeRun enables the process-wide hook before anything runs.
+func auditBeforeRun(m *logp.Machine, prog logp.Program) {
+	logp.EnableAudit(logp.AuditConfig{})
+	if _, err := m.Run(prog); err != nil {
+		return
+	}
+	_ = logp.TakeAuditSummary()
+}

@@ -1,0 +1,15 @@
+package costcharge_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/costcharge"
+	"repro/internal/analysis/kit/kittest"
+)
+
+func TestCostCharge(t *testing.T) {
+	kittest.Run(t, costcharge.Analyzer,
+		"testdata/src/cost_a",
+		"testdata/src/cost_clean",
+	)
+}

@@ -1,0 +1,20 @@
+// Package cost_a is the failing fixture for the costcharge analyzer:
+// cost formulas re-derived inline from model-parameter fields instead
+// of going through the canonical charging helpers.
+package cost_a
+
+import (
+	"repro/internal/bsp"
+	"repro/internal/logp"
+)
+
+func inlineCharges(lp logp.Params, h int64) int64 {
+	gh := lp.G * h                      // want `arithmetic on model parameter Params\.G outside the engine charging helpers`
+	opt := 2*lp.O + lp.G*(h-1) + lp.L   // want `arithmetic on model parameter Params\.O outside the engine charging helpers`
+	window := lp.L + lp.G*lp.Capacity() // want `arithmetic on model parameter Params\.L outside the engine charging helpers`
+	return gh + opt + window
+}
+
+func inlineSuperstep(bp bsp.Params, w, h int64) int64 {
+	return w + bp.G*h + bp.L // want `arithmetic on model parameter Params\.G outside the engine charging helpers`
+}

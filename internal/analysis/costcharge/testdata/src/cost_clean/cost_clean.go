@@ -1,0 +1,31 @@
+// Package cost_clean is the negative fixture for the costcharge
+// analyzer: all cost math flows through the canonical helpers, and
+// parameters appear outside arithmetic only as values (rows, bounds,
+// comparisons, construction).
+package cost_clean
+
+import (
+	"repro/internal/bsp"
+	"repro/internal/logp"
+)
+
+func canonicalCharges(lp logp.Params, h int64) int64 {
+	gh := lp.GapTime(h)
+	opt := lp.HRelationTime(h)
+	window := lp.StallWindow()
+	return gh + opt + window
+}
+
+func canonicalSuperstep(bp bsp.Params, w, h int64) int64 {
+	return bsp.SuperstepCost{W: w, H: h}.Time(bp)
+}
+
+func parameterValues(lp logp.Params, observed int64) (bool, []int64) {
+	within := observed <= lp.L // comparison, not arithmetic
+	row := []int64{lp.L, lp.O, lp.G, lp.Capacity()}
+	return within, row
+}
+
+func construction(lp logp.Params) bsp.Params {
+	return bsp.Params{P: lp.P, G: lp.G, L: lp.L}
+}

@@ -1,0 +1,15 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/kit/kittest"
+)
+
+func TestDeterminism(t *testing.T) {
+	kittest.Run(t, determinism.Analyzer,
+		"testdata/src/det_a",
+		"testdata/src/det_clean",
+	)
+}

@@ -1,0 +1,86 @@
+package kit_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/kit"
+)
+
+// varflag flags every package-level var whose name starts with "flag";
+// the dirs fixture then exercises which findings directives suppress.
+var varflag = &kit.Analyzer{
+	Name: "varflag",
+	Doc:  "test analyzer: flag package-level flag* vars",
+	Run: func(pass *kit.Pass) {
+		for _, file := range pass.Files() {
+			ast.Inspect(file, func(n ast.Node) bool {
+				spec, ok := n.(*ast.ValueSpec)
+				if !ok {
+					return true
+				}
+				for _, name := range spec.Names {
+					if strings.HasPrefix(name.Name, "flag") {
+						pass.Reportf(name.Pos(), "flag var %s", name.Name)
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+func TestDirectiveSemantics(t *testing.T) {
+	pkgs, err := kit.Load(".", "./testdata/src/dirs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := kit.RunAnalyzers(pkgs, []*kit.Analyzer{varflag})
+
+	got := map[string]int{}
+	for _, d := range diags {
+		got[d.Analyzer]++
+	}
+	// flagOne, flagTwo, flagSix are suppressed; flagThree is uncovered,
+	// flagFour's directive is malformed (never suppresses), flagFive's
+	// directive names a different analyzer.
+	if got["varflag"] != 3 {
+		t.Errorf("varflag findings = %d, want 3\n%v", got["varflag"], diags)
+	}
+	// One directive finding for the missing reason, one for the
+	// unknown analyzer name.
+	if got["directive"] != 2 {
+		t.Errorf("directive findings = %d, want 2\n%v", got["directive"], diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer == "varflag" {
+			switch {
+			case strings.Contains(d.Message, "flagThree"),
+				strings.Contains(d.Message, "flagFour"),
+				strings.Contains(d.Message, "flagFive"):
+			default:
+				t.Errorf("unexpected surviving finding: %s", d)
+			}
+		}
+	}
+}
+
+func TestScope(t *testing.T) {
+	a := &kit.Analyzer{Scope: []string{"repro/internal/bench", "repro/examples"}}
+	for path, want := range map[string]bool{
+		"repro/internal/bench":      true,
+		"repro/internal/bench/sub":  true,
+		"repro/internal/benchmarks": false,
+		"repro/examples/hotspot":    true,
+		"repro/internal/logp":       false,
+	} {
+		if got := a.InScope(path); got != want {
+			t.Errorf("InScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+	unscoped := &kit.Analyzer{}
+	if !unscoped.InScope("anything/at/all") {
+		t.Error("empty scope must match every package")
+	}
+}

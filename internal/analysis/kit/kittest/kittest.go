@@ -1,0 +1,111 @@
+// Package kittest is the fixture harness for bsplogpvet analyzers — the
+// analysistest analog for the stdlib-only kit. A fixture is an ordinary
+// compilable package under testdata/src/<name>; expectations are
+// comments of the form
+//
+//	p.Send(0, 0, x, 0) // want `regex matching the diagnostic`
+//
+// with one or more backtick-quoted regular expressions per comment.
+// Every diagnostic must be matched by a want on its exact line, and
+// every want must be matched by a diagnostic: fixtures therefore prove
+// both the findings and their positions, and a clean fixture (no want
+// comments) proves the analyzer stays silent on conforming code.
+//
+// //lint:ignore directives are honored exactly as the bsplogpvet driver
+// honors them, so fixtures can also lock in the suppression behavior.
+package kittest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/kit"
+)
+
+// Run loads each fixture package (a directory path relative to the
+// calling test, conventionally testdata/src/<name>), applies the
+// analyzer regardless of its scope restriction, and checks the
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, analyzer *kit.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, fixture := range fixtures {
+		pkgs, err := kit.Load(".", "./"+fixture)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", fixture, err)
+		}
+		unscoped := *analyzer
+		unscoped.Scope = nil
+		diags := kit.RunAnalyzers(pkgs, []*kit.Analyzer{&unscoped})
+
+		type want struct {
+			re      *regexp.Regexp
+			matched bool
+		}
+		type loc struct {
+			file string
+			line int
+		}
+		wants := map[loc][]*want{}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				for _, group := range file.Comments {
+					for _, c := range group.List {
+						idx := strings.Index(c.Text, "// want ")
+						if idx < 0 {
+							continue
+						}
+						pos := pkg.Fset.Position(c.Pos())
+						for _, pat := range backticked(c.Text[idx+len("// want "):]) {
+							re, err := regexp.Compile(pat)
+							if err != nil {
+								t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+							}
+							l := loc{pos.Filename, pos.Line}
+							wants[l] = append(wants[l], &want{re: re})
+						}
+					}
+				}
+			}
+		}
+
+		for _, d := range diags {
+			hit := false
+			for _, w := range wants[loc{d.File, d.Line}] {
+				if !w.matched && w.re.MatchString(d.Message) {
+					w.matched = true
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				t.Errorf("%s: unexpected diagnostic: %s", fixture, d)
+			}
+		}
+		for l, ws := range wants {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s: %s:%d: no diagnostic matching %q", fixture, l.file, l.line, w.re)
+				}
+			}
+		}
+	}
+}
+
+// backticked extracts the backtick-quoted segments of s.
+func backticked(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '`')
+		if i < 0 {
+			return out
+		}
+		s = s[i+1:]
+		j := strings.IndexByte(s, '`')
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[:j])
+		s = s[j+1:]
+	}
+}

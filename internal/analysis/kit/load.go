@@ -1,0 +1,192 @@
+package kit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package under analysis.
+type Package struct {
+	PkgPath    string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	Directives []Directive
+
+	// src keeps the raw bytes of each parsed file (keyed by filename)
+	// so directive placement can distinguish an end-of-line comment
+	// from one standing alone on its line.
+	src map[string][]byte
+}
+
+// A Directive is one parsed //lint:ignore comment.
+type Directive struct {
+	File    string
+	Line    int
+	Col     int
+	Checks  []string
+	Reason  string
+	OwnLine bool
+}
+
+// listPkg mirrors the fields requested from `go list -json`.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Load expands the go package patterns relative to dir, asks the
+// toolchain to compile export data for every dependency, and returns
+// the matched (non-dependency) packages parsed from source and
+// type-checked. Test files are not loaded: the invariants bsplogpvet
+// enforces are about shipped simulator code, and tests poke engine
+// internals on purpose.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported by bsplogpvet", t.ImportPath)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg := &Package{
+			PkgPath: t.ImportPath,
+			Dir:     t.Dir,
+			Fset:    fset,
+			src:     map[string][]byte{},
+		}
+		for _, name := range t.GoFiles {
+			full := filepath.Join(t.Dir, name)
+			src, err := os.ReadFile(full)
+			if err != nil {
+				return nil, err
+			}
+			file, err := parser.ParseFile(fset, full, src, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			pkg.src[full] = src
+			pkg.Files = append(pkg.Files, file)
+		}
+		pkg.Info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		conf := types.Config{Importer: imp, Sizes: sizes}
+		tpkg, err := conf.Check(t.ImportPath, fset, pkg.Files, pkg.Info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		pkg.Types = tpkg
+		pkg.Directives = parseDirectives(pkg)
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// parseDirectives extracts every //lint:ignore comment in the package.
+func parseDirectives(pkg *Package) []Directive {
+	var dirs []Directive
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d := Directive{
+					File:    pos.Filename,
+					Line:    pos.Line,
+					Col:     pos.Column,
+					OwnLine: startsLine(pkg.src[pos.Filename], pos),
+				}
+				fields := strings.Fields(text)
+				if len(fields) >= 1 {
+					d.Checks = strings.Split(fields[0], ",")
+				}
+				if len(fields) >= 2 {
+					d.Reason = strings.Join(fields[1:], " ")
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// startsLine reports whether only whitespace precedes pos on its line.
+func startsLine(src []byte, pos token.Position) bool {
+	if src == nil {
+		return false
+	}
+	i := pos.Offset - (pos.Column - 1)
+	if i < 0 || pos.Offset > len(src) {
+		return false
+	}
+	return len(bytes.TrimSpace(src[i:pos.Offset])) == 0
+}

@@ -1,0 +1,19 @@
+// Package dirs exercises //lint:ignore directive semantics for the kit
+// tests: end-of-line and line-above placement, the malformed
+// reason-less form, and an unknown analyzer name.
+package dirs
+
+var flagOne int //lint:ignore varflag covered by an end-of-line directive
+
+//lint:ignore varflag covered by the directive on the line above
+var flagTwo int
+
+var flagThree int
+
+//lint:ignore varflag
+var flagFour int
+
+//lint:ignore unknownanalyzer some reason
+var flagFive int
+
+var flagSix int //lint:ignore bsplogpvet the suite-wide name suppresses every analyzer

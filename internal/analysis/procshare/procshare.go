@@ -1,0 +1,214 @@
+// Package procshare flags per-processor program closures that mutate
+// shared captured state instead of communicating through the engine.
+//
+// A logp.Program or bsp.Program is one function value that every
+// simulated processor runs; anything the closure captures is therefore
+// shared by all p processors. The engines execute processors as
+// coroutines of one sequential event loop, so such sharing never trips
+// the race detector — it "works", while silently bypassing the very
+// accounting the simulators exist to charge: a value smuggled through a
+// captured variable moves between processors for free, with no o, no
+// gap, no capacity slot (Section 2 of the paper). The analyzer
+// therefore flags writes, inside a program function, to variables
+// captured from an enclosing scope (or to package-level variables),
+// with one carve-out: stores indexed by the processor's own identity
+// (p.ID() or a local derived from it), the canonical per-proc result
+// slot pattern, are private by construction and allowed.
+package procshare
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/kit"
+)
+
+// Analyzer is the procshare check.
+var Analyzer = &kit.Analyzer{
+	Name: "procshare",
+	Doc: "forbid per-processor program closures from writing captured " +
+		"shared state; communication must go through Send/Recv or " +
+		"per-proc slots indexed by the processor id",
+	Scope: []string{
+		"repro/internal/bench", "repro/internal/bsputil",
+		"repro/examples", "repro/cmd",
+	},
+	Run: run,
+}
+
+func run(pass *kit.Pass) {
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				if param := procParam(pass, n.Type); param != nil {
+					checkProgram(pass, n.Body, n.Type, param)
+					return false // a program does not nest further programs
+				}
+			case *ast.FuncDecl:
+				if param := procParam(pass, n.Type); param != nil && n.Body != nil {
+					checkProgram(pass, n.Body, n.Type, param)
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// procParam returns the object of ft's single parameter when that
+// parameter is one of the engines' Proc interfaces — the signature
+// shared by logp.Program, bsp.Program, and the netlogp/netrun program
+// arguments — and nil otherwise.
+func procParam(pass *kit.Pass, ft *ast.FuncType) types.Object {
+	if ft.Params == nil || len(ft.Params.List) != 1 || ft.Results != nil {
+		return nil
+	}
+	field := ft.Params.List[0]
+	if len(field.Names) != 1 {
+		return nil
+	}
+	t := pass.TypeOf(field.Type)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Proc" || obj.Pkg() == nil {
+		return nil
+	}
+	switch obj.Pkg().Path() {
+	case "repro/internal/logp", "repro/internal/bsp":
+		return pass.ObjectOf(field.Names[0])
+	}
+	return nil
+}
+
+// checkProgram reports writes to captured or global mutable state from
+// a program body.
+func checkProgram(pass *kit.Pass, body *ast.BlockStmt, ft *ast.FuncType, param types.Object) {
+	local := func(obj types.Object) bool {
+		return obj.Pos() >= body.Lbrace && obj.Pos() <= body.Rbrace
+	}
+	tainted := procDerived(pass, body, param)
+
+	// mentionsProcIdentity reports whether e syntactically involves the
+	// Proc parameter or a local derived from it.
+	mentionsProcIdentity := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.ObjectOf(id); obj != nil && (obj == param || tainted[obj]) {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	check := func(lhs ast.Expr) {
+		base, procIndexed := storeBase(lhs, mentionsProcIdentity)
+		if base == nil {
+			return
+		}
+		obj := pass.ObjectOf(base)
+		v, ok := obj.(*types.Var)
+		if !ok || local(v) || obj == param || v.IsField() {
+			return
+		}
+		if procIndexed {
+			return // per-proc slot: out[p.ID()] = v
+		}
+		where := "captured"
+		if v.Parent() == v.Pkg().Scope() {
+			where = "package-level"
+		}
+		pass.Reportf(lhs.Pos(),
+			"program writes %s variable %s shared by all processors: move data with Send/Recv (so it is charged o, the gap, and a capacity slot) or store into a per-proc slot indexed by the processor id", where, v.Name())
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(n.X)
+		}
+		return true
+	})
+}
+
+// storeBase peels an assignment target down to its base identifier,
+// reporting whether any indexing step along the way involves the
+// processor's identity.
+func storeBase(lhs ast.Expr, procIdentity func(ast.Expr) bool) (*ast.Ident, bool) {
+	procIndexed := false
+	for {
+		switch e := lhs.(type) {
+		case *ast.Ident:
+			return e, procIndexed
+		case *ast.IndexExpr:
+			if procIdentity(e.Index) {
+				procIndexed = true
+			}
+			lhs = e.X
+		case *ast.SelectorExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.ParenExpr:
+			lhs = e.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// procDerived computes the body-local variables whose value derives
+// from the Proc parameter (id := p.ID(); me := id; ...), by iterating
+// simple assignments to a fixed point.
+func procDerived(pass *kit.Pass, body *ast.BlockStmt, param types.Object) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	mentions := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.ObjectOf(id); obj != nil && (obj == param || tainted[obj]) {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.ObjectOf(id)
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				if mentions(assign.Rhs[i]) {
+					tainted[obj] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			return tainted
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package procshare_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/kit/kittest"
+	"repro/internal/analysis/procshare"
+)
+
+func TestProcshare(t *testing.T) {
+	kittest.Run(t, procshare.Analyzer,
+		"testdata/src/ps_a",
+		"testdata/src/ps_clean",
+	)
+}

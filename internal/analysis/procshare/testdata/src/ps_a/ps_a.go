@@ -1,0 +1,49 @@
+// Package ps_a is the failing fixture for the procshare analyzer: each
+// program below moves data between simulated processors through
+// captured or global memory, bypassing the charged Send/Recv path.
+package ps_a
+
+import (
+	"repro/internal/bsp"
+	"repro/internal/logp"
+)
+
+// leaked is package-level state every processor can see.
+var leaked int64
+
+// capturedScalar accumulates into a generator-scope variable: all p
+// processors share one `total`.
+func capturedScalar(m *logp.Machine) {
+	total := int64(0)
+	m.Run(func(p logp.Proc) {
+		total += p.Recv().Payload // want `program writes captured variable total shared by all processors`
+	})
+	_ = total
+}
+
+// capturedPointer is the *out result-smuggling pattern.
+func capturedPointer(out *int64) logp.Program {
+	return func(p logp.Proc) {
+		if p.ID() == 0 {
+			*out = p.Now() // want `program writes captured variable out shared by all processors`
+		}
+	}
+}
+
+// globalWrite mutates package-level state from inside a program.
+func globalWrite() logp.Program {
+	return func(p logp.Proc) {
+		leaked = p.Now() // want `program writes package-level variable leaked shared by all processors`
+	}
+}
+
+// fixedSlot writes a captured slice at an index unrelated to the
+// processor's identity: processors race (in simulated semantics) on
+// slot zero.
+func fixedSlot(sums []int64) bsp.Program {
+	return func(p bsp.Proc) {
+		if v, ok := p.Recv(); ok {
+			sums[0] += v.Payload // want `program writes captured variable sums shared by all processors`
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Package ps_clean is the negative fixture for the procshare analyzer:
+// programs that keep all cross-processor movement on the charged
+// Send/Recv path and report results only through per-proc slots.
+package ps_clean
+
+import (
+	"repro/internal/bsp"
+	"repro/internal/logp"
+)
+
+// perProcSlot writes only out[p.ID()]: the slot is private to its
+// writing processor, so nothing moves between processors for free.
+func perProcSlot(out []int64) logp.Program {
+	return func(p logp.Proc) {
+		sum := int64(0) // program-local: fresh per processor invocation
+		for i := 0; i < p.P()-1; i++ {
+			sum += p.Recv().Payload
+		}
+		out[p.ID()] = sum
+	}
+}
+
+// derivedIndex stores through a local derived from the processor id —
+// still a per-proc slot.
+func derivedIndex(out []int64) bsp.Program {
+	return func(p bsp.Proc) {
+		id := p.ID()
+		me := id
+		if v, ok := p.Recv(); ok {
+			out[me] = v.Payload
+		}
+	}
+}
+
+// readsAreFine reads captured input freely; only writes are shared
+// mutation.
+func readsAreFine(keys [][]int64) logp.Program {
+	return func(p logp.Proc) {
+		for _, k := range keys[p.ID()] {
+			p.Send(int(k)%p.P(), 0, k, 0)
+		}
+	}
+}
+
+// messagePassing moves the value the charged way.
+func messagePassing() logp.Program {
+	return func(p logp.Proc) {
+		if p.ID() == 1 {
+			p.Send(0, 0, 42, 0)
+			return
+		}
+		if p.ID() == 0 {
+			local := p.Recv().Payload
+			_ = local
+		}
+	}
+}

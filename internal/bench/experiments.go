@@ -166,6 +166,10 @@ func E2LogPOnBSP(cfg Config) *Table {
 		nat, err := m.Run(pr.prog)
 		must(err)
 		for _, rt := range ratios {
+			// The sweep constructs host machines whose g and l are set
+			// multiples of the guest's G and L — machine construction,
+			// not a cost charge.
+			//lint:ignore costcharge sweeping host BSP parameters as multiples of the LogP ones
 			host := bsp.Params{P: pCount, G: rt[0] * lp.G, L: rt[1] * lp.L}
 			sim := &core.LogPOnBSP{LogP: lp, BSP: host}
 			res, err := sim.Run(pr.prog)
@@ -271,7 +275,7 @@ func E4Randomized(cfg Config) *Table {
 				stallRuns++
 			}
 		}
-		gh := lp.G * int64(h)
+		gh := lp.GapTime(int64(h))
 		bound := stats.Theorem3FailureBound(pCount, h, int(lp.Capacity()), beta)
 		t.AddRow(pCount, h, gh, worst, float64(worst)/float64(gh), fmt.Sprintf("%d/%d", stallRuns, seeds), bound)
 	}
@@ -346,8 +350,11 @@ func E6Stalling(cfg Config) *Table {
 		sim := &core.LogPOnBSP{LogP: lp}
 		rext, err := sim.Run(prog)
 		must(err)
-		gh := lp.G * int64(h)
+		gh := lp.GapTime(int64(h))
 		lgp := log2f(float64(pCount))
+		// The dimensionless reference curve (L+G)/G · log2 p tracks the
+		// slowdown band; it is a plot guide, not a model charge.
+		//lint:ignore costcharge dimensionless reference curve, not a cost charge
 		ref := float64(lp.L+lp.G) / float64(lp.G) * lgp
 		t.AddRow(h, pCount, res.Time, gh, res.StallCycles, gh*int64(h),
 			float64(rext.ExtensionTime)/float64(res.Time), ref)
@@ -429,7 +436,7 @@ func E8Offline(cfg Config) *Table {
 		sim := &core.BSPOnLogP{LogP: lp, Router: core.RouterOffline, Seed: cfg.Seed, StrictStallFree: true}
 		res, err := sim.Run(relationProgram(rel, 0))
 		must(err)
-		opt := 2*lp.O + lp.G*int64(h-1) + lp.L
+		opt := lp.HRelationTime(int64(h))
 		t.AddRow(pCount, h, res.HostTime, opt, res.HostTime-opt, res.Host.StallEvents)
 	}
 	return t

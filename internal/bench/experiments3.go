@@ -133,7 +133,11 @@ func E12ParameterPortability(cfg Config) *Table {
 	}
 	const pCount = 6
 	fanIn := 4
-	logpProg := func(sum *int64) logp.Program {
+	// Results leave the machines through per-proc slots indexed by the
+	// processor id: a slot is private to its writer, so no value moves
+	// between simulated processors outside the charged Send/Recv path
+	// (the procshare analyzer enforces this discipline).
+	logpProg := func(sums []int64) logp.Program {
 		return func(p logp.Proc) {
 			if p.ID() >= 1 && p.ID() <= fanIn {
 				p.Send(0, 0, int64(p.ID()), 0)
@@ -141,12 +145,12 @@ func E12ParameterPortability(cfg Config) *Table {
 			}
 			if p.ID() == 0 {
 				for i := 0; i < fanIn; i++ {
-					*sum += p.Recv().Payload
+					sums[p.ID()] += p.Recv().Payload
 				}
 			}
 		}
 	}
-	bspProg := func(sum *int64) bsp.Program {
+	bspProg := func(sums []int64) bsp.Program {
 		return func(p bsp.Proc) {
 			if p.ID() >= 1 && p.ID() <= fanIn {
 				p.Send(0, 0, int64(p.ID()), 0)
@@ -158,7 +162,7 @@ func E12ParameterPortability(cfg Config) *Table {
 					if !ok {
 						break
 					}
-					*sum += m.Payload
+					sums[p.ID()] += m.Payload
 				}
 			}
 		}
@@ -170,13 +174,13 @@ func E12ParameterPortability(cfg Config) *Table {
 		{P: pCount, L: 16, O: 1, G: 8},  // capacity 2
 		{P: pCount, L: 16, O: 2, G: 16}, // capacity 1
 	} {
-		var lsum int64
-		lres, err := logp.NewMachine(params, logp.WithSeed(cfg.Seed)).Run(logpProg(&lsum))
+		lsums := make([]int64, pCount)
+		lres, err := logp.NewMachine(params, logp.WithSeed(cfg.Seed)).Run(logpProg(lsums))
 		must(err)
-		var bsum int64
-		bres, err := bsp.NewMachine(bsp.Params{P: pCount, G: params.G, L: params.L}).Run(bspProg(&bsum))
+		bsums := make([]int64, pCount)
+		bres, err := bsp.NewMachine(bsp.Params{P: pCount, G: params.G, L: params.L}).Run(bspProg(bsums))
 		must(err)
-		ok := lsum == want && bsum == want
+		ok := lsums[0] == want && bsums[0] == want
 		t.AddRow(params.L, params.G, params.Capacity(), lres.StallEvents, lres.Time, bres.Time, ok)
 	}
 	return t

@@ -124,12 +124,20 @@ func stallingExtensionTime(bp bsp.Params, rel relation.Relation, capacity, gap i
 				srcSeen[key] = true
 				reporters[m.Payload] = append(reporters[m.Payload], m.Src)
 			}
-			for d, globalFirst := range first {
+			// Iterate destinations in sorted order: ranging over the
+			// map directly would submit the replies in map order,
+			// giving the recipients run-to-run different gap slots.
+			dests := make([]int64, 0, len(first))
+			for d := range first {
+				dests = append(dests, d)
+			}
+			sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+			for _, d := range dests {
 				for _, s := range reporters[d] {
 					if s == 0 {
 						continue
 					}
-					pr.Send(s, tagFirst, d, globalFirst)
+					pr.Send(s, tagFirst, d, first[d])
 				}
 			}
 		}

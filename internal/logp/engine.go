@@ -106,6 +106,10 @@ func WithStrictStallFree() Option {
 // behavior is identical; the differential fuzz test and the golden
 // suite use this engine as the oracle the fast path must match
 // bit for bit.
+//
+// bsplogpvet: engine-internal. The slow path exists as the fuzzing
+// oracle; experiments must measure the shipped fast path, so the
+// apidiscipline analyzer flags uses outside internal/logp.
 func WithSlowPath() Option {
 	return func(m *Machine) { m.slowPath = true }
 }
@@ -296,6 +300,11 @@ func (m *Machine) Params() Params { return m.params }
 // so that experiment loops sweeping seeds can reuse one machine's
 // processor pool, slabs, and heaps across trials instead of building
 // a machine per seed.
+//
+// bsplogpvet: engine-internal. Only the engine family (the core and
+// netlogp cross-simulators) may call this; experiment code reseeding
+// mid-run would silently fork the trace from the configured seed, so
+// the apidiscipline analyzer flags any other caller.
 func (m *Machine) SetSeed(seed uint64) {
 	m.seed = seed
 	m.runs = 0

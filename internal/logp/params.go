@@ -50,6 +50,42 @@ func (p Params) Capacity() int64 {
 	return (p.L + p.G - 1) / p.G
 }
 
+// GapTime returns G·h, the gap-bound service time of h messages
+// through one processor or one destination: submissions (and
+// acquisitions) of a processor are at least G apart (Section 2.2), so
+// h of them occupy at least G·h time. This is the canonical drain-rate
+// charge — the hot-spot examples and the Theorem 3 routing experiments
+// compare measured times against it.
+func (p Params) GapTime(h int64) int64 {
+	return p.G * h
+}
+
+// HRelationTime returns 2o + G·(h−1) + L, the optimal stall-free time
+// of a balanced h-relation on the LogP machine (h ≥ 1): the first
+// message costs o at each end plus L in flight, and each further
+// message adds one gap. Experiment code must use this helper rather
+// than re-deriving the formula, so the (h−1) and the two overhead
+// terms cannot drift from the paper.
+func (p Params) HRelationTime(h int64) int64 {
+	return 2*p.O + p.G*(h-1) + p.L
+}
+
+// StallWindow returns L + G·Capacity(), the length of the wave window
+// used to stagger senders into capacity-bounded groups: a wave of
+// Capacity() messages to one destination occupies its capacity slots
+// for at most L after the last submission, and the submissions
+// themselves are G apart.
+func (p Params) StallWindow() int64 {
+	return p.L + p.G*p.Capacity()
+}
+
+// SubmitAt returns t − o: the instant a processor must start preparing
+// (WaitUntil) so that the following Send's submission instant lands
+// exactly at t. The overhead o precedes the submission (Section 2.2).
+func (p Params) SubmitAt(t int64) int64 {
+	return t - p.O
+}
+
 // Validate reports whether the parameters satisfy the constraints the
 // paper argues are necessary for a realizable machine:
 // P >= 1 and max(2, O) <= G <= L, with O >= 1.
