@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test lint race fuzz audit audit-report bench bench-smoke bench-netsim bench-report bench-diff experiments examples cover clean
+.PHONY: all test lint race fuzz golden-parallel audit audit-report bench bench-smoke bench-netsim bench-report bench-diff experiments examples cover clean
 
 all: test
 
@@ -22,10 +22,21 @@ lint:
 race:
 	$(GO) test -race ./...
 
-# Differential fuzzing of the LogP fast path against the WithSlowPath
-# oracle (identical Results, traces, and audit metrics).
+# Three-way differential fuzzing of the LogP engines: the fast path is
+# the baseline, the WithSlowPath oracle and the sharded parallel
+# scheduler (WithShards) must both produce identical Results, traces,
+# and audit metrics.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFastPathEquivalence -fuzztime 20s ./internal/logp/
+
+# Byte-identity of the sharded conservative-parallel engine: golden and
+# differential suites under the race detector, repeated across
+# GOMAXPROCS settings.
+golden-parallel:
+	$(GO) test -race -run 'Parallel|Sharded|DeliveryWindow' ./internal/logp/ ./internal/core/ ./internal/bench/
+	for gmp in 1 2 8; do \
+		GOMAXPROCS=$$gmp $(GO) test -count=1 -run 'Parallel|Sharded' ./internal/logp/ ./internal/core/ ./internal/bench/ || exit 1; \
+	done
 
 # Run the quick experiment suite under the streaming LogP invariant
 # auditor; fails on any model-invariant violation (see EXPERIMENTS.md).

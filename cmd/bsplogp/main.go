@@ -6,11 +6,15 @@
 // Usage:
 //
 //	bsplogp -list
-//	bsplogp -experiment E3 [-quick] [-seed 1]
+//	bsplogp -experiment E3 [-quick] [-seed 1] [-parallel 4]
 //	bsplogp -all [-quick]
-//	bsplogp -bench [-experiment E3] [-quick] [-benchcount 5] [-benchout BENCH_logp.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	bsplogp -bench [-experiment E3] [-quick] [-parallel 4] [-benchcount 5] [-benchout BENCH_logp.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	bsplogp -benchdiff old.json new.json [-threshold 0.2]
-//	bsplogp -audit [-experiment E3] [-quick] [-auditout AUDIT_logp.json] [-trace trace.jsonl]
+//	bsplogp -audit [-experiment E3] [-quick] [-parallel 4] [-auditout AUDIT_logp.json] [-trace trace.jsonl]
+//
+// -parallel shards the LogP engines across worker goroutines; every
+// table, trace, and audit report stays byte-identical to the
+// sequential engine, so it is purely a wall-clock lever.
 package main
 
 import (
@@ -43,6 +47,7 @@ func run(args []string, out, errOut io.Writer) int {
 		list       = fs.Bool("list", false, "list experiments and exit")
 		quick      = fs.Bool("quick", false, "shrink processor counts and trials")
 		seed       = fs.Uint64("seed", 1, "random seed")
+		parallel   = fs.Int("parallel", 0, "run the LogP engines on this many conservative-parallel shards (>= 2; 0 or 1 keeps the sequential engine); tables, traces, and audit reports are byte-identical either way")
 		doBench    = fs.Bool("bench", false, "benchmark experiments (all, or the one given by -experiment) and write a JSON report")
 		benchOut   = fs.String("benchout", "BENCH_logp.json", "path of the JSON report written by -bench")
 		benchCount = fs.Int("benchcount", 1, "with -bench: repetitions per experiment; the report carries the median wall time")
@@ -61,6 +66,22 @@ func run(args []string, out, errOut io.Writer) int {
 		return 2
 	}
 
+	// -auditout and -trace only mean something under -audit; silently
+	// ignoring them would discard output the user asked for.
+	if !*doAudit {
+		misused := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "auditout" || f.Name == "trace" {
+				fmt.Fprintf(errOut, "bsplogp: -%s has no effect without -audit\n", f.Name)
+				misused = true
+			}
+		})
+		if misused {
+			fs.Usage()
+			return 2
+		}
+	}
+
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Fprintf(out, "%-4s %s\n", e.ID, e.Name)
@@ -68,7 +89,7 @@ func run(args []string, out, errOut io.Writer) int {
 		return 0
 	}
 
-	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, Shards: *parallel}
 
 	if *benchDiff {
 		paths := fs.Args()

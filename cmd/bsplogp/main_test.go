@@ -168,3 +168,90 @@ func TestCLIAuditUnknownExperiment(t *testing.T) {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
+
+func TestCLIAuditFlagsWithoutAuditError(t *testing.T) {
+	// -auditout and -trace are silently dead without -audit; that must
+	// be a usage error, not ignored output the user asked for.
+	for _, args := range [][]string{
+		{"-trace", "t.jsonl", "-experiment", "E6", "-quick"},
+		{"-auditout", "a.json", "-experiment", "E6", "-quick"},
+		{"-trace", "t.jsonl", "-bench", "-experiment", "E6", "-quick"},
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Fatalf("%v: exit %d, want 2", args, code)
+		}
+		if !strings.Contains(errOut.String(), "without -audit") {
+			t.Fatalf("%v: stderr missing diagnosis: %s", args, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "-experiment") {
+			t.Fatalf("%v: usage text not printed: %s", args, errOut.String())
+		}
+	}
+	// With -audit both flags are legitimate (covered in
+	// TestCLIAuditWritesReportAndTrace); the default -auditout value
+	// alone must not trip the check.
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-experiment", "E6", "-quick"}, &out, &errOut); code != 0 {
+		t.Fatalf("plain experiment run broken: exit %d: %s", code, errOut.String())
+	}
+}
+
+func TestCLIParallelFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-experiment", "e6", "-quick", "-parallel", "4"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "E6") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+
+	// The shard count must reach the benchmark config and be recorded
+	// in the report schema.
+	path := filepath.Join(t.TempDir(), "bench.json")
+	out.Reset()
+	errOut.Reset()
+	code := run([]string{"-bench", "-quick", "-experiment", "E6", "-parallel", "4", "-benchout", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Shards int `json:"shards"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards != 4 {
+		t.Fatalf("report shards = %d, want 4", rep.Shards)
+	}
+}
+
+func TestCLIParallelMatchesSequentialOutput(t *testing.T) {
+	// The experiment tables themselves must be bit-identical across
+	// engines — -parallel is a wall-clock lever only.
+	var seq, par, errOut bytes.Buffer
+	if code := run([]string{"-experiment", "e3", "-quick"}, &seq, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"-experiment", "e3", "-quick", "-parallel", "4"}, &par, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	strip := func(s string) string {
+		// Drop the wall-clock completion line, which legitimately varies.
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "completed in") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(seq.String()) != strip(par.String()) {
+		t.Fatalf("-parallel changed E3's table:\nsequential:\n%s\nparallel:\n%s", seq.String(), par.String())
+	}
+}

@@ -49,3 +49,17 @@ func racySelect(a, b chan int) int {
 		return x
 	}
 }
+
+func chanOrderEmission(t *tracer, work chan int) {
+	for v := range work { // want `channel receive order is scheduler-dependent but this loop feeds Emit\(\)`
+		t.Emit(fmt.Sprintf("%d", v))
+	}
+}
+
+func chanOrderFloatAccum(results chan float64) float64 {
+	var s float64
+	for v := range results { // want `channel receive order is scheduler-dependent but this loop feeds float accumulation`
+		s += v
+	}
+	return s
+}

@@ -58,3 +58,15 @@ func annotatedException() time.Time {
 	//lint:ignore determinism fixture demonstrates an annotated wall-clock exception
 	return time.Now()
 }
+
+// workerForward is the parallel engine's worker-pool idiom: the
+// receive loop only transforms the item it received and forwards it on
+// a channel, so the commit loop draining done decides all ordering.
+func workerForward(work <-chan *task, done chan<- *task) {
+	for t := range work {
+		t.result = t.input * 2
+		done <- t
+	}
+}
+
+type task struct{ input, result int }

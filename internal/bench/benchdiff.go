@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 )
@@ -84,8 +85,21 @@ func Diff(old, new *BenchReport, threshold float64) *BenchDiff {
 	return d
 }
 
+// ratioCell renders a new/old ratio for the diff table. A report
+// written before a counter existed (or a hand-edited baseline) can
+// carry a zero denominator; the ratio is then undefined and the cell
+// says so instead of printing a literal 0, Inf, or NaN.
+func ratioCell(ratio float64, ok bool) interface{} {
+	if !ok || math.IsNaN(ratio) || math.IsInf(ratio, 0) {
+		return "n/a"
+	}
+	return ratio
+}
+
 // Render formats the comparison as an aligned table. Regressed rows
-// are marked "REGRESSED" in the last column.
+// are marked "REGRESSED" in the last column; experiments absent from
+// the old report get a row of their own flagged "new", with n/a in
+// every old-side and ratio column.
 func (d *BenchDiff) Render() string {
 	t := &Table{
 		ID: "BENCHDIFF",
@@ -101,13 +115,31 @@ func (d *BenchDiff) Render() string {
 		t.AddRow(r.ID,
 			float64(r.OldWallNanos)/1e6,
 			float64(r.NewWallNanos)/1e6,
-			r.WallRatio,
+			ratioCell(r.WallRatio, r.OldWallNanos > 0),
 			r.OldEventsPS/1e6,
 			r.NewEventsPS/1e6,
-			r.EventsPSRatio,
+			ratioCell(r.EventsPSRatio, r.OldEventsPS > 0),
 			r.OldAllocs,
 			r.NewAllocs,
 			flag)
+	}
+	for _, id := range d.NewOnly {
+		for _, n := range d.New.Results {
+			if n.ID != id {
+				continue
+			}
+			t.AddRow(n.ID,
+				"n/a",
+				float64(n.WallNanos)/1e6,
+				"n/a",
+				"n/a",
+				n.EventsPerSec/1e6,
+				"n/a",
+				"n/a",
+				n.Allocs,
+				"new")
+			break
+		}
 	}
 	var wallOld, wallNew int64
 	for _, r := range d.Results {

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func diffReports() (*BenchReport, *BenchReport) {
+	old := &BenchReport{
+		StartedAt: "2026-08-01T00:00:00Z",
+		Count:     3,
+		Results: []BenchResult{
+			{ID: "E3", WallNanos: 2_000_000, EventsPerSec: 4e6, Allocs: 100},
+			// A baseline written before throughput counters existed: a
+			// wall time but no events/sec sample.
+			{ID: "E4", WallNanos: 1_000_000, EventsPerSec: 0, Allocs: 50},
+			// A hand-edited or truncated baseline row with no
+			// measurements at all.
+			{ID: "A3", WallNanos: 0, EventsPerSec: 0, Allocs: 0},
+			{ID: "E9", WallNanos: 3_000_000, EventsPerSec: 1e6, Allocs: 10},
+		},
+	}
+	new := &BenchReport{
+		StartedAt: "2026-08-08T00:00:00Z",
+		Count:     3,
+		Results: []BenchResult{
+			{ID: "E3", WallNanos: 1_000_000, EventsPerSec: 8e6, Allocs: 90},
+			{ID: "E4", WallNanos: 1_200_000, EventsPerSec: 5e6, Allocs: 50},
+			{ID: "A3", WallNanos: 500_000, EventsPerSec: 2e6, Allocs: 40},
+			// Added since the baseline: no old row to compare against.
+			{ID: "E14", WallNanos: 700_000, EventsPerSec: 3e6, Allocs: 20},
+		},
+	}
+	return old, new
+}
+
+// TestDiffRenderDegenerateBaselines pins the rendering of zero and
+// missing baselines: undefined ratios must say "n/a" (not 0, +Inf, or
+// NaN), and an experiment absent from the old report must appear as a
+// table row flagged "new" rather than only in a footnote.
+func TestDiffRenderDegenerateBaselines(t *testing.T) {
+	old, new := diffReports()
+	d := Diff(old, new, 0.10)
+	out := d.Render()
+
+	row := func(id string) string {
+		t.Helper()
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, id+" ") {
+				return line
+			}
+		}
+		t.Fatalf("no table row for %s in:\n%s", id, out)
+		return ""
+	}
+
+	if got := row("A3"); strings.Count(got, "n/a") != 2 {
+		t.Errorf("A3 (all-zero baseline) should render n/a for both ratios, got: %s", got)
+	}
+	if got := row("E4"); strings.Count(got, "n/a") != 1 {
+		t.Errorf("E4 (no old events/sec) should render n/a for the events ratio only, got: %s", got)
+	}
+	if got := row("E14"); !strings.HasSuffix(strings.TrimRight(got, " "), "new") || strings.Count(got, "n/a") != 5 {
+		t.Errorf("E14 (new experiment) should be a row flagged new with n/a old-side cells, got: %s", got)
+	}
+	for _, bad := range []string{"+Inf", "-Inf", "NaN"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("rendered diff contains %q:\n%s", bad, out)
+		}
+	}
+
+	// The zero-wall baseline must not trip the regression flag, and a
+	// real regression alongside it still must.
+	for _, r := range d.Results {
+		if r.ID == "A3" && r.Regressed {
+			t.Error("A3 flagged regressed against a zero baseline")
+		}
+		if r.ID == "E9" {
+			t.Error("E9 missing from new report should not produce a result row")
+		}
+	}
+	if !strings.Contains(row("E4"), "REGRESSED") {
+		t.Error("E4 slowed past threshold but was not flagged")
+	}
+	if !d.Regressed {
+		t.Error("summary Regressed not set despite E4 regression")
+	}
+}
+
+// TestDiffEmptyOldReport covers the 0-row baseline: every new
+// experiment renders as a "new" row and nothing divides by zero.
+func TestDiffEmptyOldReport(t *testing.T) {
+	_, new := diffReports()
+	old := &BenchReport{StartedAt: "2026-08-01T00:00:00Z", Count: 1}
+	d := Diff(old, new, 0.10)
+	if d.Regressed {
+		t.Error("empty baseline flagged a regression")
+	}
+	if len(d.NewOnly) != len(new.Results) {
+		t.Fatalf("NewOnly = %v, want all %d experiments", d.NewOnly, len(new.Results))
+	}
+	out := d.Render()
+	for _, r := range new.Results {
+		found := false
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, r.ID+" ") && strings.Contains(line, "new") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %s has no row flagged new:\n%s", r.ID, out)
+		}
+	}
+	for _, bad := range []string{"+Inf", "-Inf", "NaN"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("rendered diff contains %q:\n%s", bad, out)
+		}
+	}
+}

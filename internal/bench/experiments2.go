@@ -43,7 +43,7 @@ func E9RadixSkew(cfg Config) *Table {
 				}
 			}
 		}
-		res, err := logp.NewMachine(params, logp.WithDeliveryPolicy(logp.DeliverMinLatency), logp.WithSeed(cfg.Seed)).
+		res, err := logp.NewMachine(params, logp.WithDeliveryPolicy(logp.DeliverMinLatency), logp.WithSeed(cfg.Seed), logp.WithShards(cfg.Shards)).
 			Run(bucketSortProgram(keys, keyRange))
 		must(err)
 		t.AddRow(pCount, pCount*perProc, skew, res.Time, res.StallEvents, res.StallCycles, res.MaxBufferDepth)

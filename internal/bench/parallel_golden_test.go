@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/logp"
+)
+
+// formatAuditEvent renders one audited event byte-stably, covering
+// every model-visible field (Body is an application payload pointer
+// whose address is run-dependent, so it is excluded).
+func formatAuditEvent(ev logp.Event) string {
+	return fmt.Sprintf("%d %v seq=%d %d->%d tag=%d pay=%d aux=%d\n",
+		ev.Time, ev.Kind, ev.Seq, ev.Msg.Src, ev.Msg.Dst, ev.Msg.Tag, ev.Msg.Payload, ev.Msg.Aux)
+}
+
+// runAuditedE3 executes experiment E3 under the streaming auditor and
+// returns the full host event trace plus the AUDIT_logp.json document.
+func runAuditedE3(t *testing.T, cfg Config) (trace string, auditJSON string) {
+	t.Helper()
+	var b strings.Builder
+	rep, err := RunAudit(cfg, []string{"E3"}, func(ev logp.Event) {
+		b.WriteString(formatAuditEvent(ev))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalViolations != 0 {
+		t.Fatalf("audit violations: %+v", rep.Results)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.String(), string(data)
+}
+
+// TestE3ShardedGoldenAcrossGOMAXPROCS is the shard-merge commit-order
+// golden test: E3 (the Theorem 2 deterministic-slowdown sweep, running
+// BSP-on-LogP machines) must produce byte-identical event traces and
+// audit summaries on the sharded scheduler at GOMAXPROCS 1, 2, and 8,
+// all equal to the sequential engine's output.
+func TestE3ShardedGoldenAcrossGOMAXPROCS(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 1}
+	wantTrace, wantAudit := runAuditedE3(t, cfg)
+	if wantTrace == "" {
+		t.Fatal("E3 produced no audited events")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, gmp := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(gmp)
+		cfg.Shards = 4
+		gotTrace, gotAudit := runAuditedE3(t, cfg)
+		if gotTrace != wantTrace {
+			t.Fatalf("GOMAXPROCS=%d: sharded trace differs from sequential (%d vs %d bytes)",
+				gmp, len(gotTrace), len(wantTrace))
+		}
+		if gotAudit != wantAudit {
+			t.Fatalf("GOMAXPROCS=%d: audit summary differs from sequential:\nsequential %s\nsharded %s",
+				gmp, wantAudit, gotAudit)
+		}
+	}
+}

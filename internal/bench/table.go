@@ -105,6 +105,11 @@ type Config struct {
 	Quick bool
 	// Seed drives every random choice.
 	Seed uint64
+	// Shards, when >= 2, runs the LogP engines on the sharded
+	// conservative-parallel scheduler (logp.WithShards). Measured
+	// tables, traces, and audit summaries are byte-identical to the
+	// sequential engine; only wall-clock throughput changes.
+	Shards int
 }
 
 // Experiment couples an id with its generator.

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bsp"
+	"repro/internal/logp"
+)
+
+// TestBSPOnLogPShardedMatchesSequential runs the cross-simulation on
+// the sharded host scheduler and asserts the full Thm2Result —
+// including the phase breakdowns assembled from shared per-step state —
+// matches the sequential engine under every router and policy.
+func TestBSPOnLogPShardedMatchesSequential(t *testing.T) {
+	lp := logp.Params{P: 8, L: 16, O: 1, G: 2}
+	run := func(router Router, policy logp.DeliveryPolicy, shards int) Thm2Result {
+		t.Helper()
+		outs := make([][]int64, lp.P)
+		sim := &BSPOnLogP{
+			LogP: lp, Router: router, Policy: policy, Seed: 9,
+			Beta: 1, Shards: shards,
+		}
+		res, err := sim.Run(exchangeProgram(outs))
+		if err != nil {
+			t.Fatalf("router %v policy %v shards %d: %v", router, policy, shards, err)
+		}
+		return res
+	}
+	for _, router := range allRouters {
+		for _, policy := range corePolicies {
+			want := run(router, policy, 0)
+			for _, shards := range []int{2, 4, 8} {
+				got := run(router, policy, shards)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("router %v policy %v shards %d diverged:\nsequential %+v\nparallel   %+v",
+						router, policy, shards, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestBSPOnLogPShardedReusesMachine checks the machine cache keys on
+// the shard count: flipping Shards rebuilds the host, keeping it
+// reuses the cached machine.
+func TestBSPOnLogPShardedReusesMachine(t *testing.T) {
+	lp := logp.Params{P: 4, L: 8, O: 1, G: 2}
+	sim := &BSPOnLogP{LogP: lp, Shards: 2}
+	if _, err := sim.Run(func(p bsp.Proc) {}); err != nil {
+		t.Fatal(err)
+	}
+	first := sim.mach
+	if first == nil {
+		t.Fatal("machine not cached")
+	}
+	if _, err := sim.Run(func(p bsp.Proc) {}); err != nil {
+		t.Fatal(err)
+	}
+	if sim.mach != first {
+		t.Fatal("same shard count rebuilt the machine")
+	}
+	sim.Shards = 0
+	if _, err := sim.Run(func(p bsp.Proc) {}); err != nil {
+		t.Fatal(err)
+	}
+	if sim.mach == first {
+		t.Fatal("changed shard count did not rebuild the machine")
+	}
+}

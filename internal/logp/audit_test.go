@@ -235,3 +235,80 @@ func TestAuditorMetricsDeterministic(t *testing.T) {
 		t.Fatalf("same seed produced different metrics:\n%+v\n%+v", m1, m2)
 	}
 }
+
+// windowTrace is a hand-written single-message trace whose delivery
+// instant is the only variable: submit and accept at t=1, deliver and
+// acquire at deliverAt. With L=8 the paper's delivery window is
+// (1, 9] — open below, closed above.
+var windowParams = Params{P: 2, L: 8, O: 1, G: 2}
+
+func windowTrace(deliverAt int64) []Event {
+	return []Event{
+		{Time: 1, Kind: EvSubmit, Seq: 1, Msg: Message{Src: 0, Dst: 1}},
+		{Time: 1, Kind: EvAccept, Seq: 1, Msg: Message{Src: 0, Dst: 1}},
+		{Time: deliverAt, Kind: EvDeliver, Seq: 1, Msg: Message{Src: 0, Dst: 1}},
+		{Time: deliverAt, Kind: EvAcquire, Seq: 1, Msg: Message{Src: 0, Dst: 1}},
+	}
+}
+
+// TestDeliveryWindowClosedUpperBound pins the boundary semantics of
+// the delivery window: arrival at exactly accept+L is legal (the
+// bound is closed), so neither checker may reject it.
+func TestDeliveryWindowClosedUpperBound(t *testing.T) {
+	boundary := windowParams.L + 1 // accept=1, so accept+L = 9
+	trace := windowTrace(boundary)
+	if err := CheckTrace(windowParams, trace); err != nil {
+		t.Fatalf("CheckTrace rejected a delivery at exactly accept+L: %v", err)
+	}
+	a := NewAuditor(windowParams, TraceOptions{RequireAcquired: true})
+	for _, ev := range trace {
+		a.Observe(ev)
+	}
+	err := a.Finish(Result{LastDelivery: boundary, MessagesSent: 1, MaxBufferDepth: 1})
+	if err != nil {
+		t.Fatalf("Auditor rejected a delivery at exactly accept+L: %v (all: %v)", err, a.Violations())
+	}
+}
+
+// TestDeliveryWindowViolations covers the instants adjacent to the
+// window: delivery at the acceptance instant (the bound is open
+// below) and at accept+L+1 (one past the closed upper bound) must
+// both be rejected, by CheckTrace and by the streaming Auditor.
+func TestDeliveryWindowViolations(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		deliverAt int64
+		checkMsg  string
+	}{
+		// CheckTrace re-sorts each instant into the model's evaluation
+		// order (deliveries before acceptances), so a delivery at the
+		// acceptance instant surfaces there as a stage-order violation;
+		// the streaming Auditor sees emission order and reports the
+		// window itself. Both reject the trace.
+		{"at-accept", 1, "delivered out of order"},
+		{"past-accept-plus-L", windowParams.L + 2, "outside (accept, accept+L]"},
+	} {
+		trace := windowTrace(tc.deliverAt)
+		err := CheckTrace(windowParams, trace)
+		if err == nil {
+			t.Fatalf("%s: CheckTrace accepted delivery at t=%d with accept=1, L=%d", tc.name, tc.deliverAt, windowParams.L)
+		}
+		if !strings.Contains(err.Error(), tc.checkMsg) {
+			t.Fatalf("%s: unexpected CheckTrace error: %v", tc.name, err)
+		}
+		a := NewAuditor(windowParams, TraceOptions{})
+		for _, ev := range trace {
+			a.Observe(ev)
+		}
+		err = a.Finish(Result{LastDelivery: tc.deliverAt, MessagesSent: 1, MaxBufferDepth: 1})
+		if err == nil {
+			t.Fatalf("%s: Auditor accepted delivery at t=%d with accept=1, L=%d", tc.name, tc.deliverAt, windowParams.L)
+		}
+		if !strings.Contains(err.Error(), "outside (accept, accept+L]") {
+			t.Fatalf("%s: unexpected Auditor error: %v", tc.name, err)
+		}
+		if a.ViolationCount() == 0 {
+			t.Fatalf("%s: no violation recorded", tc.name)
+		}
+	}
+}

@@ -235,6 +235,12 @@ type Machine struct {
 
 	procErr error
 
+	// Sharded conservative-parallel scheduler (WithShards): shardsOpt
+	// is the requested shard count; par is non-nil for a Run exactly
+	// when the parallel scheduler is active (see resetPar).
+	shardsOpt int
+	par       *parEngine
+
 	// liveProcs counts program goroutines/coroutines between start and
 	// epilogue; Run leaves it at zero on every path (the shutdown
 	// regression tests assert this). liveWG tracks the slow-path
@@ -258,6 +264,7 @@ type Machine struct {
 // so a failed Run never leaks program goroutines into the caller's
 // world (or into this machine's next Run).
 func (m *Machine) shutdown() {
+	m.shutdownParallel()
 	for _, p := range m.procs {
 		if p == nil {
 			continue
@@ -376,75 +383,13 @@ func (m *Machine) Run(prog Program) (Result, error) {
 	m.reset()
 	defer m.shutdown()
 
-	// Start processors one at a time so that the code before each
-	// program's first engine call is serialized like everything else.
-	// Programs not yet started sit at clock 0, which resumeFloor
-	// advertises to the fast path of the ones already running.
-	m.resumeFloor = 0
-	for i := 0; i < m.params.P; i++ {
-		p := m.procs[i]
-		p.reinit(m.slowPath)
-		if p.fast {
-			p.watermark = m.localWatermark()
-			p.next, p.stop = iter.Pull(p.sequence(prog))
-		} else {
-			if p.req == nil {
-				p.req = make(chan request)
-				p.res = make(chan response)
-			}
-			m.liveProcs.Add(1)
-			m.liveWG.Add(1)
-			go runner(p, prog)
+	if m.par != nil {
+		m.startParallel(prog)
+		if err := m.loopParallel(); err != nil {
+			return Result{}, err
 		}
-		m.await(p)
-		if p.state == stateReady {
-			m.pushReady(p)
-		}
-	}
-	m.resumeFloor = math.MaxInt64
-
-	for {
-		horizon := int64(math.MaxInt64)
-		if len(m.ready) > 0 {
-			horizon = m.ready[0].clock
-		}
-		if m.events.len() > 0 && m.events.minTime() <= horizon {
-			m.processInstant(m.events.minTime())
-			continue
-		}
-		if len(m.ready) == 0 {
-			if m.allDone() {
-				break
-			}
-			m.drainEmit()
-			if m.procErr != nil {
-				// A processor panic often strands its peers on
-				// Recv; report the root cause, not the symptom.
-				return Result{}, m.procErr
-			}
-			return Result{}, m.deadlockError()
-		}
-		// Run the minimum-(clock, id) processor, and keep running
-		// whichever processor is the scheduler's next choice without
-		// returning to the outer loop: consecutive operations of one
-		// processor skip the heap entirely, and a handover to another
-		// ready processor is a single top-replacement sift instead of
-		// a push/pop pair.
-		p := m.popReady()
-		for {
-			m.exec(p)
-			if p.state != stateReady {
-				break
-			}
-			if m.events.len() > 0 && m.events.minTime() <= p.clock {
-				m.pushReady(p)
-				break
-			}
-			if len(m.ready) > 0 && procBefore(m.ready[0], p) {
-				p, m.ready[0] = m.ready[0], p
-				m.siftDownReady()
-			}
-		}
+	} else if err := m.runSequential(prog); err != nil {
+		return Result{}, err
 	}
 
 	// Drain in-flight deliveries so LastDelivery and buffer-depth
@@ -485,6 +430,83 @@ func (m *Machine) Run(prog Program) (Result, error) {
 		return res, fmt.Errorf("logp: execution stalled %d times under WithStrictStallFree", m.stallEvents)
 	}
 	return res, nil
+}
+
+// runSequential is the original single-goroutine scheduler: start the
+// processors one at a time, then interleave instants and operations
+// from one commit loop. It remains the differential oracle the
+// parallel scheduler must match byte for byte.
+func (m *Machine) runSequential(prog Program) error {
+	// Start processors one at a time so that the code before each
+	// program's first engine call is serialized like everything else.
+	// Programs not yet started sit at clock 0, which resumeFloor
+	// advertises to the fast path of the ones already running.
+	m.resumeFloor = 0
+	for i := 0; i < m.params.P; i++ {
+		p := m.procs[i]
+		p.reinit(m.slowPath)
+		if p.fast {
+			p.watermark = m.localWatermark()
+			p.next, p.stop = iter.Pull(p.sequence(prog))
+		} else {
+			if p.req == nil {
+				p.req = make(chan request)
+				p.res = make(chan response)
+			}
+			m.liveProcs.Add(1)
+			m.liveWG.Add(1)
+			go runner(p, prog)
+		}
+		m.await(p)
+		if p.state == stateReady {
+			m.pushReady(p)
+		}
+	}
+	m.resumeFloor = math.MaxInt64
+
+	for {
+		horizon := int64(math.MaxInt64)
+		if len(m.ready) > 0 {
+			horizon = m.ready[0].clock
+		}
+		if m.events.len() > 0 && m.events.minTime() <= horizon {
+			m.processInstant(m.events.minTime())
+			continue
+		}
+		if len(m.ready) == 0 {
+			if m.allDone() {
+				return nil
+			}
+			m.drainEmit()
+			if m.procErr != nil {
+				// A processor panic often strands its peers on
+				// Recv; report the root cause, not the symptom.
+				return m.procErr
+			}
+			return m.deadlockError()
+		}
+		// Run the minimum-(clock, id) processor, and keep running
+		// whichever processor is the scheduler's next choice without
+		// returning to the outer loop: consecutive operations of one
+		// processor skip the heap entirely, and a handover to another
+		// ready processor is a single top-replacement sift instead of
+		// a push/pop pair.
+		p := m.popReady()
+		for {
+			m.exec(p)
+			if p.state != stateReady {
+				break
+			}
+			if m.events.len() > 0 && m.events.minTime() <= p.clock {
+				m.pushReady(p)
+				break
+			}
+			if len(m.ready) > 0 && procBefore(m.ready[0], p) {
+				p, m.ready[0] = m.ready[0], p
+				m.siftDownReady()
+			}
+		}
+	}
 }
 
 func (m *Machine) reset() {
@@ -558,6 +580,7 @@ func (m *Machine) reset() {
 	m.msgSeq = 0
 	m.auditor = newRunAuditor(m.params)
 	m.emitOn = m.auditor != nil || m.eventLog != nil
+	m.resetPar()
 }
 
 // slotTaken reports whether delivery instant d is reserved at dst.
@@ -691,6 +714,14 @@ func (m *Machine) localWatermark() int64 {
 	if m.resumeFloor != math.MaxInt64 && m.resumeFloor+1 < w {
 		w = m.resumeFloor + 1
 	}
+	if m.par != nil {
+		// A running segment dispatched at bound c acts at clock >= c,
+		// so its earliest possible submission commits at or after c and
+		// the resulting delivery lands at c+1 or later.
+		if bc, _, ok := m.minRunning(); ok && bc+1 < w {
+			w = bc + 1
+		}
+	}
 	return w
 }
 
@@ -798,6 +829,13 @@ func (m *Machine) siftDownReady() {
 func (m *Machine) resume(p *proc, r response) {
 	if p.fast {
 		p.resp = r
+		if m.par != nil {
+			// Sharded scheduler: hand the next segment to p's shard
+			// worker instead of running it inline; dispatch computes
+			// the watermark itself.
+			m.dispatch(p)
+			return
+		}
 		p.watermark = m.localWatermark()
 		m.await(p)
 		return
@@ -927,9 +965,26 @@ func (m *Machine) processInstant(t int64) {
 			}
 			p := m.procs[dst]
 			rec.at = t
-			m.appendBuf(p, ref.idx)
-			if p.bufLen > m.maxBuf {
-				m.maxBuf = p.bufLen
+			if p.state == stateRunning {
+				// p's program is running ahead on its shard worker, and
+				// its local buffer view must stay frozen mid-segment
+				// (the segment's failing polls resolved against the
+				// view it was dispatched with). Stage the arrival;
+				// collect merges it before the engine can execute p's
+				// next operation. The arrival is above p's dispatch
+				// watermark, so the frozen view never lies to the
+				// segment. bufLen itself cannot change while p runs, so
+				// bufLen plus the staged count is the depth the
+				// sequential engine would have recorded here.
+				p.parStage = append(p.parStage, ref.idx)
+				if d := p.bufLen + len(p.parStage); d > m.maxBuf {
+					m.maxBuf = d
+				}
+			} else {
+				m.appendBuf(p, ref.idx)
+				if p.bufLen > m.maxBuf {
+					m.maxBuf = p.bufLen
+				}
 			}
 			m.lastDelivery = t
 			m.dirtyBits[dst>>6] |= 1 << (uint(dst) & 63)

@@ -97,10 +97,15 @@ func runOnce(t *testing.T, params Params, prog Program, opts ...Option) (Result,
 }
 
 // checkFastSlowEquivalence runs the decoded program on the fast-path
-// engine and on the WithSlowPath oracle under every delivery policy
-// and asserts bit-for-bit identical Results, traces, and audit
-// metrics. This is the tentpole's correctness contract: batching,
-// pooling, and buffered emission must be unobservable.
+// engine, on the WithSlowPath oracle, and on the sharded parallel
+// scheduler, under every delivery policy and a sweep of parameter
+// sets including the degenerate corners (G == L pins the capacity to
+// 1 and keeps the delivery watermark hugging the clocks; O == G == L
+// aligns every operation to instant boundaries). It asserts
+// bit-for-bit identical Results, traces, and audit metrics across all
+// three engines. This is the tentpole's correctness contract:
+// batching, pooling, buffered emission, and shard-parallel run-ahead
+// must all be unobservable.
 func checkFastSlowEquivalence(t *testing.T, data []byte) {
 	t.Helper()
 	prog, p := decodeFuzzProgram(data)
@@ -110,39 +115,54 @@ func checkFastSlowEquivalence(t *testing.T, data []byte) {
 	h := fnv.New64a()
 	h.Write(data)
 	seed := h.Sum64() | 1
-	params := Params{P: p, L: 8, O: 1, G: 2}
-	for _, policy := range []DeliveryPolicy{DeliverMaxLatency, DeliverMinLatency, DeliverRandom} {
-		opts := []Option{WithDeliveryPolicy(policy), WithSeed(seed)}
-		if policy == DeliverRandom {
-			// Random delivery shares the rng with random acceptance;
-			// exercise both consumers so a fast-path reordering of rng
-			// draws cannot hide.
-			opts = append(opts, WithAcceptOrder(AcceptRandom))
-		}
-		fastRes, fastTrace, fastMetrics, fastErr := runOnce(t, params, prog, opts...)
-		slowRes, slowTrace, slowMetrics, slowErr := runOnce(t, params, prog, append(opts, WithSlowPath())...)
-		if (fastErr == nil) != (slowErr == nil) ||
-			(fastErr != nil && fastErr.Error() != slowErr.Error()) {
-			t.Fatalf("%v: error mismatch: fast %v, slow %v", policy, fastErr, slowErr)
-		}
-		if fastErr != nil {
-			continue
-		}
-		if !reflect.DeepEqual(fastRes, slowRes) {
-			t.Fatalf("%v: Result mismatch:\nfast %+v\nslow %+v", policy, fastRes, slowRes)
-		}
-		if !reflect.DeepEqual(fastTrace, slowTrace) {
-			if len(fastTrace) != len(slowTrace) {
-				t.Fatalf("%v: trace length mismatch: fast %d, slow %d", policy, len(fastTrace), len(slowTrace))
+	paramSets := []Params{
+		{P: p, L: 8, O: 1, G: 2},
+		{P: p, L: 2, O: 1, G: 2}, // G == L: capacity 1
+		{P: p, L: 2, O: 2, G: 2}, // O == G == L
+	}
+	shards := 2 + int(seed%uint64(p)) // 2..P+1, clamped to P by the engine
+	for _, params := range paramSets {
+		for _, policy := range []DeliveryPolicy{DeliverMaxLatency, DeliverMinLatency, DeliverRandom} {
+			opts := []Option{WithDeliveryPolicy(policy), WithSeed(seed)}
+			if policy == DeliverRandom {
+				// Random delivery shares the rng with random acceptance;
+				// exercise both consumers so a fast-path reordering of rng
+				// draws cannot hide.
+				opts = append(opts, WithAcceptOrder(AcceptRandom))
 			}
-			for i := range fastTrace {
-				if !reflect.DeepEqual(fastTrace[i], slowTrace[i]) {
-					t.Fatalf("%v: trace diverges at event %d:\nfast %+v\nslow %+v", policy, i, fastTrace[i], slowTrace[i])
+			fastRes, fastTrace, fastMetrics, fastErr := runOnce(t, params, prog, opts...)
+			for _, alt := range []struct {
+				name string
+				opt  Option
+			}{
+				{"slow", WithSlowPath()},
+				{"parallel", WithShards(shards)},
+			} {
+				altRes, altTrace, altMetrics, altErr := runOnce(t, params, prog, append(opts, alt.opt)...)
+				if (fastErr == nil) != (altErr == nil) ||
+					(fastErr != nil && fastErr.Error() != altErr.Error()) {
+					t.Fatalf("%v/%v %s: error mismatch: fast %v, %s %v", params, policy, alt.name, fastErr, alt.name, altErr)
+				}
+				if fastErr != nil {
+					continue
+				}
+				if !reflect.DeepEqual(fastRes, altRes) {
+					t.Fatalf("%v/%v: Result mismatch:\nfast %+v\n%s %+v", params, policy, fastRes, alt.name, altRes)
+				}
+				if !reflect.DeepEqual(fastTrace, altTrace) {
+					if len(fastTrace) != len(altTrace) {
+						t.Fatalf("%v/%v: trace length mismatch: fast %d, %s %d", params, policy, len(fastTrace), alt.name, len(altTrace))
+					}
+					for i := range fastTrace {
+						if !reflect.DeepEqual(fastTrace[i], altTrace[i]) {
+							t.Fatalf("%v/%v: trace diverges at event %d:\nfast %+v\n%s %+v", params, policy, i, fastTrace[i], alt.name, altTrace[i])
+						}
+					}
+				}
+				if !reflect.DeepEqual(fastMetrics, altMetrics) {
+					t.Fatalf("%v/%v: audit metrics mismatch:\nfast %+v\n%s %+v", params, policy, fastMetrics, alt.name, altMetrics)
 				}
 			}
-		}
-		if !reflect.DeepEqual(fastMetrics, slowMetrics) {
-			t.Fatalf("%v: audit metrics mismatch:\nfast %+v\nslow %+v", policy, fastMetrics, slowMetrics)
 		}
 	}
 }

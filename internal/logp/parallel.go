@@ -1,0 +1,333 @@
+package logp
+
+import (
+	"iter"
+	"math"
+	"sync"
+)
+
+// WithShards enables the sharded conservative-parallel scheduler:
+// processor programs run as coroutines on n worker goroutines (shard i
+// owns the processors with id ≡ i mod n) while a single commit loop on
+// the Run goroutine orders every engine-side effect. The per-processor
+// delivery watermark — min over the event heap's earliest instant, the
+// parked ready clocks, the running segments' dispatch bounds, and the
+// resume floor — is each segment's safe-advance horizon: a segment may
+// run ahead of the engine exactly as far as the fast path always
+// could, and every observable effect (trace emission, audit stream,
+// RNG draws, Result) commits on the Run goroutine in the sequential
+// engine's order. Output is therefore byte-identical to the sequential
+// scheduler at any GOMAXPROCS; the sequential engine remains the
+// differential oracle (see FuzzFastPathEquivalence).
+//
+// n <= 1 selects the sequential scheduler, and n is clamped to P.
+// WithSlowPath takes precedence: the slow-path oracle is sequential by
+// construction. Programs keep the documented sharing contract (shared
+// structures indexed by processor id): processors on different shards
+// run concurrently, so cross-processor mutation of shared state that
+// was merely interleaved before becomes a data race.
+func WithShards(n int) Option {
+	return func(m *Machine) { m.shardsOpt = n }
+}
+
+// boundRef is one running segment's conservative bound: the (clock,
+// id) it was dispatched at. The segment's next parked operation cannot
+// sort before this key, so the commit loop may commit anything that
+// sorts ahead of every live bound.
+type boundRef struct {
+	clock int64
+	id    int32
+}
+
+func boundBefore(a, b boundRef) bool {
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.id < b.id
+}
+
+// boundHeap is a binary min-heap of dispatch bounds with lazy
+// deletion: entries are never removed when a segment completes, they
+// are popped when they surface stale (minRunning checks them against
+// the proc's live state).
+type boundHeap []boundRef
+
+func (h *boundHeap) push(ref boundRef) {
+	a := append(*h, ref)
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !boundBefore(a[i], a[parent]) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+	*h = a
+}
+
+func (h *boundHeap) pop() {
+	a := *h
+	n := len(a) - 1
+	a[0] = a[n]
+	a = a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && boundBefore(a[l], a[min]) {
+			min = l
+		}
+		if r < n && boundBefore(a[r], a[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		a[i], a[min] = a[min], a[i]
+		i = min
+	}
+	*h = a
+}
+
+// parEngine is the sharded scheduler's per-machine state. The commit
+// loop owns everything here; workers only ever touch the procs handed
+// to them through workCh.
+type parEngine struct {
+	workCh  []chan *proc
+	doneCh  chan *proc
+	wg      sync.WaitGroup
+	started bool
+
+	running  int   // dispatched segments not yet collected
+	seq      int64 // dispatch counter; orders panic reports
+	panicSeq int64 // dispatch seq of the panic currently in procErr
+	bounds   boundHeap
+}
+
+// resetPar prepares (or tears down) the parallel scheduler state for a
+// fresh Run, after m.params and m.slowPath are settled.
+func (m *Machine) resetPar() {
+	shards := m.shardsOpt
+	if shards > m.params.P {
+		shards = m.params.P
+	}
+	if m.slowPath || shards < 2 {
+		m.par = nil
+		return
+	}
+	if m.par == nil || len(m.par.workCh) != shards {
+		m.par = &parEngine{workCh: make([]chan *proc, shards)}
+	}
+	e := m.par
+	e.running = 0
+	e.seq, e.panicSeq = 0, 0
+	e.bounds = e.bounds[:0]
+}
+
+// parWorker runs program segments for the procs handed to it. A worker
+// owns a proc only between the work receive and the done send; every
+// field the segment touches is unshared during that window, and the
+// two channel hops order the engine's and the worker's accesses.
+// Completion order on doneCh is scheduler-dependent; the commit loop
+// never lets it reach an observable effect — collect re-parks procs
+// into the ready heap, which re-sorts by (clock, id).
+func parWorker(work <-chan *proc, done chan<- *proc, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for p := range work {
+		if _, ok := p.next(); ok {
+			p.pending = p.out
+		} else {
+			p.pending = p.final
+		}
+		done <- p
+	}
+}
+
+// startParallel spawns the shard workers and dispatches every
+// processor's first segment. It mirrors the sequential startup sweep:
+// programs not yet dispatched sit at clock 0, which resumeFloor
+// advertises to the segments already running.
+func (m *Machine) startParallel(prog Program) {
+	e := m.par
+	shards := len(e.workCh)
+	for i := range e.workCh {
+		n := (m.params.P - i + shards - 1) / shards // procs with id ≡ i mod shards
+		e.workCh[i] = make(chan *proc, n)
+	}
+	e.doneCh = make(chan *proc, m.params.P)
+	for i := range e.workCh {
+		e.wg.Add(1)
+		go parWorker(e.workCh[i], e.doneCh, &e.wg)
+	}
+	e.started = true
+	m.resumeFloor = 0
+	for i := 0; i < m.params.P; i++ {
+		p := m.procs[i]
+		p.reinit(false)
+		p.next, p.stop = iter.Pull(p.sequence(prog))
+		m.dispatch(p)
+	}
+	m.resumeFloor = math.MaxInt64
+}
+
+// dispatch hands p's next program segment to its shard worker. The
+// delivery watermark is computed before p's own bound is registered,
+// matching the sequential resume (which excludes the processor being
+// resumed from the ready heap); registering it first would only make
+// the watermark more conservative, never wrong.
+func (m *Machine) dispatch(p *proc) {
+	e := m.par
+	p.watermark = m.localWatermark()
+	p.state = stateRunning
+	p.parBound = p.clock
+	p.parSeq = e.seq
+	e.seq++
+	e.running++
+	e.bounds.push(boundRef{clock: p.clock, id: int32(p.id)})
+	e.workCh[p.id%len(e.workCh)] <- p
+}
+
+// minRunning returns the smallest (clock, id) dispatch bound over the
+// running segments. Stale heap entries — the proc has since parked, or
+// moved on to a later dispatch at a higher clock — pop lazily as they
+// surface.
+func (m *Machine) minRunning() (int64, int32, bool) {
+	e := m.par
+	for len(e.bounds) > 0 {
+		top := e.bounds[0]
+		p := m.procs[top.id]
+		if p.state == stateRunning && p.parBound == top.clock {
+			return top.clock, top.id, true
+		}
+		e.bounds.pop()
+	}
+	return 0, 0, false
+}
+
+// collect retires a completed segment on the commit loop: staged
+// deliveries merge into the input FIFO in delivery order, locally
+// resolved operations fold into the event count (as the sequential
+// await does), and the parked request re-enters the scheduler. Panic
+// reports keep the sequential engine's first-panic semantics: the
+// surviving error is the one whose dispatch — and therefore whose
+// preceding committed operation — came first, regardless of the order
+// completions happen to arrive in.
+func (m *Machine) collect(p *proc) {
+	e := m.par
+	e.running--
+	if len(p.parStage) > 0 {
+		for _, idx := range p.parStage {
+			m.appendBuf(p, idx)
+		}
+		p.parStage = p.parStage[:0]
+	}
+	if p.localOps != 0 {
+		m.simEvents += p.localOps
+		p.localOps = 0
+	}
+	switch p.pending.kind {
+	case opDone:
+		p.state = stateDone
+	case opPanic:
+		if m.procErr == nil || p.parSeq < e.panicSeq {
+			m.procErr = p.pending.err
+			e.panicSeq = p.parSeq
+		}
+		p.state = stateDone
+	default:
+		p.state = stateReady
+		m.pushReady(p)
+	}
+}
+
+// loopParallel is the parallel scheduler's commit loop. It reproduces
+// the sequential commit order exactly: medium instants commit in time
+// order, processor operations in (clock, id) order, and an instant at
+// t precedes any operation at clock >= t. Whenever a running segment's
+// dispatch bound could still park a request that sorts ahead of the
+// chosen commit, the loop waits for a completion instead of
+// committing. Its return mirrors the sequential loop's exits: nil on
+// normal completion, the first processor panic, or a deadlock report.
+func (m *Machine) loopParallel() error {
+	e := m.par
+	for {
+		// Fold in finished segments without blocking, so bounds are
+		// fresh and workers are refilled promptly.
+	drain:
+		for {
+			select {
+			case p := <-e.doneCh:
+				m.collect(p)
+			default:
+				break drain
+			}
+		}
+		bc, bid, bok := m.minRunning()
+		if m.events.len() > 0 {
+			t := m.events.minTime()
+			horizon := int64(math.MaxInt64)
+			if len(m.ready) > 0 {
+				horizon = m.ready[0].clock
+			}
+			if t <= horizon {
+				// A segment with bound < t may yet park an operation
+				// before t. A bound at exactly t is safe: its request
+				// parks at clock >= t, and instants commit first on
+				// clock ties, exactly as the sequential loop orders
+				// them.
+				if bok && bc < t {
+					m.collect(<-e.doneCh)
+					continue
+				}
+				m.processInstant(t)
+				continue
+			}
+		}
+		if len(m.ready) > 0 {
+			cand := m.ready[0]
+			if bok && (bc < cand.clock || (bc == cand.clock && int(bid) < cand.id)) {
+				m.collect(<-e.doneCh)
+				continue
+			}
+			m.exec(m.popReady())
+			continue
+		}
+		if e.running > 0 {
+			m.collect(<-e.doneCh)
+			continue
+		}
+		if m.allDone() {
+			return nil
+		}
+		m.drainEmit()
+		if m.procErr != nil {
+			// A processor panic often strands its peers on Recv;
+			// report the root cause, not the symptom.
+			return m.procErr
+		}
+		return m.deadlockError()
+	}
+}
+
+// shutdownParallel retires the shard workers at the end of a Run. On
+// the normal path every segment was already collected; a commit-loop
+// panic can leave segments in flight, so they are drained first —
+// workers never block (doneCh holds P) and each proc must be parked
+// before its coroutine can be stopped by the caller's unwind sweep.
+func (m *Machine) shutdownParallel() {
+	e := m.par
+	if e == nil || !e.started {
+		return
+	}
+	for e.running > 0 {
+		m.collect(<-e.doneCh)
+	}
+	for i := range e.workCh {
+		close(e.workCh[i])
+		e.workCh[i] = nil
+	}
+	e.wg.Wait()
+	e.doneCh = nil
+	e.started = false
+}

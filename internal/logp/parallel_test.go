@@ -1,0 +1,287 @@
+package logp
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// checkParallelMatch runs prog on the sequential engine and on the
+// sharded engine and asserts identical Results, traces, and audit
+// metrics — the tentpole's byte-identity contract.
+func checkParallelMatch(t *testing.T, params Params, prog Program, shards int, opts ...Option) {
+	t.Helper()
+	seqRes, seqTrace, seqMetrics, seqErr := runOnce(t, params, prog, opts...)
+	parRes, parTrace, parMetrics, parErr := runOnce(t, params, prog, append(opts, WithShards(shards))...)
+	if (seqErr == nil) != (parErr == nil) ||
+		(seqErr != nil && seqErr.Error() != parErr.Error()) {
+		t.Fatalf("shards=%d: error mismatch: sequential %v, parallel %v", shards, seqErr, parErr)
+	}
+	if seqErr != nil {
+		return
+	}
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Fatalf("shards=%d: Result mismatch:\nsequential %+v\nparallel   %+v", shards, seqRes, parRes)
+	}
+	if !reflect.DeepEqual(seqTrace, parTrace) {
+		if len(seqTrace) != len(parTrace) {
+			t.Fatalf("shards=%d: trace length mismatch: sequential %d, parallel %d", shards, len(seqTrace), len(parTrace))
+		}
+		for i := range seqTrace {
+			if !reflect.DeepEqual(seqTrace[i], parTrace[i]) {
+				t.Fatalf("shards=%d: trace diverges at event %d:\nsequential %+v\nparallel   %+v", shards, i, seqTrace[i], parTrace[i])
+			}
+		}
+	}
+	if !reflect.DeepEqual(seqMetrics, parMetrics) {
+		t.Fatalf("shards=%d: audit metrics mismatch:\nsequential %+v\nparallel   %+v", shards, seqMetrics, parMetrics)
+	}
+}
+
+// allToAllProgram keeps every processor both sending and receiving so
+// shard workers genuinely overlap.
+func allToAllProgram(p Proc) {
+	const rounds = 5
+	for k := 0; k < rounds; k++ {
+		for d := 0; d < p.P(); d++ {
+			if d == p.ID() {
+				continue
+			}
+			p.Send(d, int32(k), int64(p.ID()), int64(k))
+		}
+		p.Compute(int64(p.ID()%3) + 1)
+	}
+	for i := 0; i < rounds*(p.P()-1); i++ {
+		m := p.Recv()
+		p.Compute(1 + m.Payload%3)
+	}
+}
+
+// pollProgram drives the fast path's local resolution (Buffered and
+// failing TryRecv) so run-ahead segments cross the watermark often.
+func pollProgram(p Proc) {
+	if p.ID() == 0 {
+		got := 0
+		for got < 2*(p.P()-1) {
+			if _, ok := p.TryRecv(); ok {
+				got++
+			} else if p.Buffered() == 0 {
+				p.Compute(1)
+			}
+		}
+		return
+	}
+	p.Compute(int64(3 * p.ID()))
+	p.Send(0, 0, int64(p.ID()), 0)
+	p.Send(0, 1, int64(p.ID()), 1)
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	programs := map[string]Program{
+		"busy":     busyProgram,
+		"ping":     pingProgram,
+		"allToAll": allToAllProgram,
+		"poll":     pollProgram,
+	}
+	params := Params{P: 6, L: 9, O: 2, G: 3}
+	for name, prog := range programs {
+		for _, policy := range []DeliveryPolicy{DeliverMaxLatency, DeliverMinLatency, DeliverRandom} {
+			for _, shards := range []int{2, 3, 6} {
+				opts := []Option{WithDeliveryPolicy(policy), WithSeed(11)}
+				if policy == DeliverRandom {
+					opts = append(opts, WithAcceptOrder(AcceptRandom))
+				}
+				t.Run(name, func(t *testing.T) {
+					checkParallelMatch(t, params, prog, shards, opts...)
+				})
+			}
+		}
+	}
+}
+
+// TestParallelBoundaryParams pins the degenerate corners of the
+// parameter space: G == L collapses the capacity to 1 (the watermark
+// hugs the clocks), and O == G == L makes every operation instant
+// boundary-aligned.
+func TestParallelBoundaryParams(t *testing.T) {
+	for _, params := range []Params{
+		{P: 4, L: 2, O: 1, G: 2},
+		{P: 4, L: 2, O: 2, G: 2},
+		{P: 3, L: 3, O: 1, G: 3},
+	} {
+		if params.Capacity() != 1 {
+			t.Fatalf("params %+v: want the degenerate capacity 1, got %d", params, params.Capacity())
+		}
+		for _, prog := range []Program{busyProgram, pollProgram, allToAllProgram} {
+			checkParallelMatch(t, params, prog, 2, WithSeed(5))
+			checkParallelMatch(t, params, prog, 2, WithDeliveryPolicy(DeliverRandom), WithAcceptOrder(AcceptRandom), WithSeed(5))
+		}
+	}
+}
+
+// TestParallelAcrossGOMAXPROCS asserts trace byte-identity whether the
+// shard workers truly run in parallel (GOMAXPROCS 8) or are multiplexed
+// onto one OS thread (GOMAXPROCS 1).
+func TestParallelAcrossGOMAXPROCS(t *testing.T) {
+	params := Params{P: 8, L: 8, O: 1, G: 2}
+	base, baseTrace, _, err := runOnce(t, params, allToAllProgram, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, gmp := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(gmp)
+		res, trace, _, err := runOnce(t, params, allToAllProgram, WithSeed(3), WithShards(4))
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", gmp, err)
+		}
+		if !reflect.DeepEqual(res, base) {
+			t.Fatalf("GOMAXPROCS=%d: Result mismatch:\nsequential %+v\nparallel   %+v", gmp, base, res)
+		}
+		if !reflect.DeepEqual(trace, baseTrace) {
+			t.Fatalf("GOMAXPROCS=%d: trace mismatch (%d vs %d events)", gmp, len(baseTrace), len(trace))
+		}
+	}
+}
+
+// TestParallelRepeatedRuns checks the WithSeed determinism contract on
+// one machine: run i must replay the sequential engine's run i, so the
+// per-run reseed stream is preserved.
+func TestParallelRepeatedRuns(t *testing.T) {
+	params := Params{P: 4, L: 8, O: 1, G: 2}
+	seqM := NewMachine(params, WithSeed(9), WithDeliveryPolicy(DeliverRandom), WithAcceptOrder(AcceptRandom))
+	parM := NewMachine(params, WithSeed(9), WithDeliveryPolicy(DeliverRandom), WithAcceptOrder(AcceptRandom), WithShards(2))
+	for i := 0; i < 3; i++ {
+		seqRes, seqErr := seqM.Run(busyProgram)
+		parRes, parErr := parM.Run(busyProgram)
+		if seqErr != nil || parErr != nil {
+			t.Fatalf("run %d: errors %v, %v", i, seqErr, parErr)
+		}
+		if !reflect.DeepEqual(seqRes, parRes) {
+			t.Fatalf("run %d diverged:\nsequential %+v\nparallel   %+v", i, seqRes, parRes)
+		}
+	}
+}
+
+// TestParallelPanicDeterministic makes several processors panic in one
+// run and checks that the surviving error is the sequential engine's:
+// the panic whose dispatch came first, not whichever shard worker
+// happened to finish first.
+func TestParallelPanicDeterministic(t *testing.T) {
+	params := Params{P: 6, L: 8, O: 1, G: 2}
+	prog := func(p Proc) {
+		p.Compute(int64(1 + p.ID()))
+		if p.ID()%2 == 1 {
+			panic("boom")
+		}
+		p.Compute(50)
+	}
+	seqM := NewMachine(params)
+	_, seqErr := seqM.Run(prog)
+	if seqErr == nil {
+		t.Fatal("sequential run did not surface the panic")
+	}
+	for _, shards := range []int{2, 3, 6} {
+		parM := NewMachine(params, WithShards(shards))
+		for i := 0; i < 5; i++ { // repeat: completion order varies, the report must not
+			_, parErr := parM.Run(prog)
+			if parErr == nil || parErr.Error() != seqErr.Error() {
+				t.Fatalf("shards=%d run %d: error %v, want %v", shards, i, parErr, seqErr)
+			}
+		}
+	}
+}
+
+func TestParallelDeadlockDetected(t *testing.T) {
+	params := Params{P: 4, L: 8, O: 1, G: 2}
+	prog := func(p Proc) {
+		if p.ID() == 0 {
+			p.Recv() // nobody sends
+		}
+	}
+	seqM := NewMachine(params)
+	_, seqErr := seqM.Run(prog)
+	parM := NewMachine(params, WithShards(2))
+	_, parErr := parM.Run(prog)
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("deadlock not detected: sequential %v, parallel %v", seqErr, parErr)
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Fatalf("deadlock reports differ:\nsequential %v\nparallel   %v", seqErr, parErr)
+	}
+	if !strings.Contains(parErr.Error(), "deadlock") {
+		t.Fatalf("unexpected error: %v", parErr)
+	}
+}
+
+func TestParallelStrictStallFree(t *testing.T) {
+	params := Params{P: 4, L: 8, O: 1, G: 2}
+	seqM := NewMachine(params, WithStrictStallFree())
+	_, seqErr := seqM.Run(busyProgram)
+	parM := NewMachine(params, WithStrictStallFree(), WithShards(2))
+	_, parErr := parM.Run(busyProgram)
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("hot spot did not stall: sequential %v, parallel %v", seqErr, parErr)
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Fatalf("strict-stall-free reports differ:\nsequential %v\nparallel   %v", seqErr, parErr)
+	}
+}
+
+// TestParallelShardClamping covers the option edges: more shards than
+// processors clamp to P, shard counts below 2 and the slow-path oracle
+// select the sequential scheduler.
+func TestParallelShardClamping(t *testing.T) {
+	params := Params{P: 3, L: 8, O: 1, G: 2}
+	checkParallelMatch(t, params, busyProgram, 64, WithSeed(2))
+	for _, m := range []*Machine{
+		NewMachine(params, WithShards(1)),
+		NewMachine(params, WithShards(0)),
+		NewMachine(params, WithShards(-4)),
+		NewMachine(params, WithShards(2), WithSlowPath()),
+	} {
+		if _, err := m.Run(busyProgram); err != nil {
+			t.Fatal(err)
+		}
+		if m.par != nil {
+			t.Fatal("sequential fallback expected, parallel scheduler active")
+		}
+	}
+	m := NewMachine(params, WithShards(64))
+	if _, err := m.Run(busyProgram); err != nil {
+		t.Fatal(err)
+	}
+	if m.par == nil || len(m.par.workCh) != params.P {
+		t.Fatalf("shards not clamped to P: %+v", m.par)
+	}
+}
+
+// TestParallelShutdownLeavesNoLiveProcs mirrors the sequential
+// shutdown regressions: a panicked parallel run must fully unwind
+// every coroutine before Run returns.
+func TestParallelShutdownLeavesNoLiveProcs(t *testing.T) {
+	params := Params{P: 4, L: 8, O: 1, G: 2}
+	m := NewMachine(params, WithShards(2))
+	prog := func(p Proc) {
+		if p.ID() == 2 {
+			panic("late panic")
+		}
+		p.Send((p.ID()+1)%p.P(), 0, 1, 0)
+		p.Recv()
+	}
+	if _, err := m.Run(prog); err == nil {
+		t.Fatal("panic not surfaced")
+	}
+	if n := m.liveProcs.Load(); n != 0 {
+		t.Fatalf("%d live processors after Run", n)
+	}
+	// The machine must be reusable after the failed parallel run.
+	if _, err := m.Run(busyProgram); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.liveProcs.Load(); n != 0 {
+		t.Fatalf("%d live processors after reuse", n)
+	}
+}

@@ -93,6 +93,11 @@ const (
 	stateWaitAccept
 	stateWaitMsg
 	stateDone
+	// stateRunning marks a processor whose program segment is in flight
+	// on a shard worker (sharded scheduler only): it is in neither the
+	// ready heap nor a blocked state, and the engine must not touch its
+	// input buffer until collect re-parks it.
+	stateRunning
 )
 
 // msgRec is one message's slab record (Machine.recSlab), reused across
@@ -167,6 +172,18 @@ type proc struct {
 	out   request
 	resp  response
 	fast  bool
+
+	// Sharded scheduler bookkeeping, touched only by the commit loop
+	// (never by the segment running on a shard worker). parBound is the
+	// clock this proc was dispatched at — a lower bound on where its
+	// next request can park. parSeq is the dispatch sequence number,
+	// used to order panic reports deterministically. parStage holds
+	// deliveries committed while the segment was in flight; collect
+	// merges them into the input FIFO before the engine acts on the
+	// proc again.
+	parBound int64
+	parSeq   int64
+	parStage []int32
 
 	// Slow path (WithSlowPath): the original per-op channel
 	// rendezvous, kept alive as a differential-testing oracle.
@@ -305,4 +322,7 @@ func (p *proc) reinit(slow bool) {
 	p.next, p.stop, p.yield = nil, nil, nil
 	p.resp = response{}
 	p.fast = !slow
+	p.parBound = 0
+	p.parSeq = 0
+	p.parStage = p.parStage[:0]
 }
