@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test lint race fuzz golden-parallel audit audit-report bench bench-smoke bench-netsim bench-report bench-diff experiments examples cover clean
+.PHONY: all test lint race fuzz golden-parallel audit audit-report bench bench-smoke bench-netsim bench-report bench-diff bench-scale bench-scale-report experiments examples cover clean
 
 all: test
 
@@ -67,6 +67,17 @@ bench-report:
 bench-diff:
 	$(GO) run ./cmd/bsplogp -bench -quick -benchcount 3 -benchout /tmp/BENCH_new.json
 	$(GO) run ./cmd/bsplogp -benchdiff BENCH_logp.json /tmp/BENCH_new.json
+
+# Smoke the large-p scale experiments (E14/E15): -quick skips the
+# p=10^6 entries and runs the rest at p=10^5, a few seconds of wall
+# time — the CI guard that the O(active) engines stay live.
+bench-scale:
+	$(GO) run ./cmd/bsplogp -scale -quick
+
+# Full scale run at p up to 10^6, merging events/sec and bytes/proc
+# rows into the checked-in BENCH_logp.json (see EXPERIMENTS.md).
+bench-scale-report:
+	$(GO) run ./cmd/bsplogp -scale -bench -benchout BENCH_logp.json
 
 # Regenerate the checked-in AUDIT_logp.json (see EXPERIMENTS.md).
 audit-report:

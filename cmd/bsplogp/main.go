@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	bsplogp -list
+//	bsplogp -list [-scale]
 //	bsplogp -experiment E3 [-quick] [-seed 1] [-parallel 4]
 //	bsplogp -all [-quick]
+//	bsplogp -scale [-quick] [-bench]
 //	bsplogp -bench [-experiment E3] [-quick] [-parallel 4] [-benchcount 5] [-benchout BENCH_logp.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	bsplogp -benchdiff old.json new.json [-threshold 0.2]
 //	bsplogp -audit [-experiment E3] [-quick] [-parallel 4] [-auditout AUDIT_logp.json] [-trace trace.jsonl]
@@ -25,6 +26,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"sync"
 	"time"
@@ -42,10 +44,11 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("bsplogp", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		id         = fs.String("experiment", "", "experiment id to run (E1..E13, A1..A6); empty with -all runs everything")
+		id         = fs.String("experiment", "", "experiment id to run (E1..E13, A1..A6, or a scale id like E14.p1m); empty with -all runs everything")
 		all        = fs.Bool("all", false, "run every experiment")
 		list       = fs.Bool("list", false, "list experiments and exit")
 		quick      = fs.Bool("quick", false, "shrink processor counts and trials")
+		scale      = fs.Bool("scale", false, "select the large-p scale experiments (E14/E15 at p=10^4..10^6) instead of the regular suite; with -quick the p=10^6 entries are skipped and the rest run at p=10^5")
 		seed       = fs.Uint64("seed", 1, "random seed")
 		parallel   = fs.Int("parallel", 0, "run the LogP engines on this many conservative-parallel shards (>= 2; 0 or 1 keeps the sequential engine); tables, traces, and audit reports are byte-identical either way")
 		doBench    = fs.Bool("bench", false, "benchmark experiments (all, or the one given by -experiment) and write a JSON report")
@@ -83,13 +86,38 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 
 	if *list {
-		for _, e := range bench.All() {
-			fmt.Fprintf(out, "%-4s %s\n", e.ID, e.Name)
+		exps := bench.All()
+		if *scale {
+			exps = bench.Scale()
+		}
+		for _, e := range exps {
+			fmt.Fprintf(out, "%-9s %s\n", e.ID, e.Name)
 		}
 		return 0
 	}
 
 	cfg := bench.Config{Quick: *quick, Seed: *seed, Shards: *parallel}
+
+	// The p=10^6 experiments keep ~2 GB of guest state live; the default
+	// GC target (100% headroom) would push peak RSS past the scale
+	// suite's 4 GB budget, so trade GC frequency for footprint. The
+	// simulation is unaffected — GC timing never reaches the engines.
+	if *scale {
+		debug.SetGCPercent(50)
+	}
+
+	// The scale registry's default selection: everything, or under
+	// -quick only the entries whose processor count fits a smoke run.
+	scaleIDs := func() []string {
+		var ids []string
+		for _, e := range bench.Scale() {
+			if *quick && e.Procs > 100_000 {
+				continue
+			}
+			ids = append(ids, e.ID)
+		}
+		return ids
+	}
 
 	if *benchDiff {
 		paths := fs.Args()
@@ -166,6 +194,8 @@ func run(args []string, out, errOut io.Writer) int {
 		var ids []string
 		if *id != "" {
 			ids = []string{*id}
+		} else if *scale {
+			ids = scaleIDs()
 		}
 		if *cpuProfile != "" {
 			f, err := os.Create(*cpuProfile)
@@ -203,6 +233,13 @@ func run(args []string, out, errOut io.Writer) int {
 			f.Close()
 		}
 		fmt.Fprintln(out, rep.Render())
+		// A -scale run extends an existing report instead of replacing
+		// it: the regular suite's rows survive, scale rows are updated.
+		if *scale {
+			if base, err := bench.ReadJSON(*benchOut); err == nil {
+				rep = bench.MergeReports(base, rep)
+			}
+		}
 		if err := rep.WriteJSON(*benchOut); err != nil {
 			fmt.Fprintf(errOut, "bsplogp: writing report: %v\n", err)
 			return 1
@@ -221,6 +258,11 @@ func run(args []string, out, errOut io.Writer) int {
 	switch {
 	case *all:
 		for _, e := range bench.All() {
+			runOne(e)
+		}
+	case *scale:
+		for _, sid := range scaleIDs() {
+			e, _ := bench.Lookup(sid)
 			runOne(e)
 		}
 	case *id != "":

@@ -29,6 +29,12 @@ type BenchResult struct {
 	Allocs       uint64  `json:"allocs"`
 	AllocBytes   uint64  `json:"allocBytes"`
 	Rows         int     `json:"rows"`
+	// Procs and BytesPerProc are reported by the scale experiments
+	// (Experiment.Procs > 0): allocation traffic normalized per guest
+	// processor, the figure that separates the O(active) sparse
+	// engines from anything paying O(p) per event.
+	Procs        int     `json:"procs,omitempty"`
+	BytesPerProc float64 `json:"bytesPerProc,omitempty"`
 }
 
 // BenchReport is the top-level schema of BENCH_logp.json. Reports from
@@ -128,6 +134,10 @@ func RunBench(cfg Config, ids []string, count int) (*BenchReport, error) {
 			r.EventsPerSec = float64(r.SimEvents) / sec
 			r.HopsPerSec = float64(r.NetHops) / sec
 		}
+		if e.Procs > 0 {
+			r.Procs = e.Procs
+			r.BytesPerProc = float64(r.AllocBytes) / float64(e.Procs)
+		}
 		rep.TotalWallNanos += r.WallNanos
 		rep.Results = append(rep.Results, r)
 	}
@@ -145,6 +155,39 @@ func medianInt64(xs []int64) int64 {
 func medianUint64(xs []uint64) uint64 {
 	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
 	return xs[(len(xs)-1)/2]
+}
+
+// MergeReports folds the results of next into base: results sharing an
+// experiment ID are replaced by next's measurement, new IDs are
+// appended in next's order, and everything else of base — including
+// results next did not re-run — is kept. The metadata (Go version,
+// timestamps, repetition count) comes from next, the run that actually
+// produced the fresh numbers. It lets a -scale -bench run extend the
+// checked-in BENCH_logp.json without discarding the regular suite's
+// rows.
+func MergeReports(base, next *BenchReport) *BenchReport {
+	merged := *next
+	merged.Results = nil
+	replaced := make(map[string]BenchResult, len(next.Results))
+	for _, r := range next.Results {
+		replaced[r.ID] = r
+	}
+	merged.TotalWallNanos = 0
+	for _, r := range base.Results {
+		if nr, ok := replaced[r.ID]; ok {
+			r = nr
+			delete(replaced, r.ID)
+		}
+		merged.Results = append(merged.Results, r)
+		merged.TotalWallNanos += r.WallNanos
+	}
+	for _, r := range next.Results {
+		if _, ok := replaced[r.ID]; ok {
+			merged.Results = append(merged.Results, r)
+			merged.TotalWallNanos += r.WallNanos
+		}
+	}
+	return &merged
 }
 
 // ReadJSON loads a report previously written by WriteJSON.
@@ -171,20 +214,34 @@ func (r *BenchReport) WriteJSON(path string) error {
 
 // Render summarizes the report as an aligned table for the CLI.
 func (r *BenchReport) Render() string {
+	scale := false
+	for _, b := range r.Results {
+		if b.Procs > 0 {
+			scale = true
+			break
+		}
+	}
 	t := &Table{
 		ID:      "BENCH",
 		Title:   fmt.Sprintf("benchmark (%s %s/%s, quick=%v, seed=%d, median of %d)", r.GoVersion, r.GOOS, r.GOARCH, r.Quick, r.Seed, r.Count),
 		Columns: []string{"id", "wall-ms", "sim-events", "events/sec", "net-hops", "hops/sec", "allocs", "alloc-MB"},
 	}
+	if scale {
+		t.Columns = append(t.Columns, "procs", "bytes/proc")
+	}
 	for _, b := range r.Results {
-		t.AddRow(b.ID,
-			float64(b.WallNanos)/1e6,
+		row := []interface{}{b.ID,
+			float64(b.WallNanos) / 1e6,
 			b.SimEvents,
 			b.EventsPerSec,
 			b.NetHops,
 			b.HopsPerSec,
 			b.Allocs,
-			float64(b.AllocBytes)/(1<<20))
+			float64(b.AllocBytes) / (1 << 20)}
+		if scale {
+			row = append(row, b.Procs, b.BytesPerProc)
+		}
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("total wall time %v", time.Duration(r.TotalWallNanos).Round(time.Millisecond)))
 	return t.Render()

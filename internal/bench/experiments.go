@@ -85,11 +85,14 @@ func bcastProgram(p logp.Proc) {
 }
 
 // relationProgram is a one-superstep BSP program that realizes rel and
-// charges work local operations per processor.
+// charges work local operations per processor. The grouped index is
+// built once per program (procs only read it), replacing the per-call
+// O(p) allocations of BySource across the harness's relation sweeps.
 func relationProgram(rel relation.Relation, work int64) bsp.Program {
-	bySrc := rel.BySource()
+	bySrc := new(relation.Grouping)
+	bySrc.Group(rel)
 	return func(p bsp.Proc) {
-		for _, pr := range bySrc[p.ID()] {
+		for _, pr := range bySrc.Source(p.ID()) {
 			p.Send(pr.Dst, 0, int64(pr.Dst), 0)
 		}
 		p.Compute(work)

@@ -1,0 +1,336 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/bsp"
+	"repro/internal/collective"
+	"repro/internal/core"
+	"repro/internal/logp"
+)
+
+// Large-p scale experiments (E14, E15). They drive the coroutine-free
+// logp.Script engines — lazy instantiation, recycling, O(active)
+// memory — at processor counts the Program form cannot reach (a parked
+// coroutine per guest costs gigabytes at p = 10^6). Every table column
+// is a simulated quantity, so the tables are byte-for-byte
+// deterministic; host-side measurements (events/sec, bytes/proc) are
+// reported by -bench, not here.
+//
+// The scripts keep all per-processor state in slices indexed by the
+// processor id, so Next(id, ...) touches only processor id's slots —
+// the procshare discipline the sharded scheduler requires.
+
+// scaleLogP are the guest parameters of the scale experiments:
+// capacity ceil(L/G) = 8, the CB tree arity of the Theorem 2 barrier.
+func scaleLogP(p int) logp.Params {
+	return logp.Params{P: p, L: 32, O: 2, G: 4}
+}
+
+// scaleRingScript pipelines rounds messages around the ring. Every
+// processor has startup work, so this is the all-active worst case for
+// the sparse engine: the win here is coroutine-free execution, not
+// laziness.
+type scaleRingScript struct {
+	p, rounds int
+	step      []int32
+}
+
+func newScaleRingScript(p, rounds int) *scaleRingScript {
+	return &scaleRingScript{p: p, rounds: rounds, step: make([]int32, p)}
+}
+
+func (s *scaleRingScript) Active(int) bool { return true }
+
+func (s *scaleRingScript) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
+	k := int(s.step[id])
+	s.step[id]++
+	switch {
+	case s.p == 1:
+		return logp.ScriptOp{Kind: logp.ScriptHalt}
+	case k < s.rounds:
+		return logp.ScriptOp{Kind: logp.ScriptSend, Dst: (id + 1) % s.p, Tag: int32(k), Payload: int64(id)}
+	case k < 2*s.rounds:
+		return logp.ScriptOp{Kind: logp.ScriptRecv}
+	default:
+		return logp.ScriptOp{Kind: logp.ScriptHalt}
+	}
+}
+
+// scaleBcastScript broadcasts from processor 0 by binary span-halving:
+// the owner of span [id, hi] hands the upper half [mid, hi] to
+// processor mid and keeps [id, mid-1]. Only processor 0 is active —
+// every other guest is a zero-byte template until its message arrives,
+// and halts (recycling its record) after forwarding, so the live set
+// tracks the broadcast frontier instead of p.
+type scaleBcastScript struct {
+	p int
+	// hi[id]: -1 = untouched, -2 = awaiting the spanning message,
+	// otherwise the top of the span processor id still owns.
+	hi []int64
+}
+
+func newScaleBcastScript(p int) *scaleBcastScript {
+	s := &scaleBcastScript{p: p, hi: make([]int64, p)}
+	for i := range s.hi {
+		s.hi[i] = -1
+	}
+	return s
+}
+
+func (s *scaleBcastScript) Active(id int) bool { return id == 0 }
+
+func (s *scaleBcastScript) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
+	switch s.hi[id] {
+	case -1:
+		if id != 0 {
+			s.hi[id] = -2
+			return logp.ScriptOp{Kind: logp.ScriptRecv}
+		}
+		s.hi[0] = int64(s.p - 1)
+	case -2:
+		s.hi[id] = prev.Msg.Payload
+	}
+	h := s.hi[id]
+	if h <= int64(id) {
+		return logp.ScriptOp{Kind: logp.ScriptHalt}
+	}
+	mid := int64(id) + (h-int64(id)+1)/2
+	s.hi[id] = mid - 1
+	return logp.ScriptOp{Kind: logp.ScriptSend, Dst: int(mid), Tag: 0, Payload: h}
+}
+
+// scaleBarrierScript is a combine-and-broadcast barrier on the
+// complete d-ary tree in BFS layout: leaves report up, the root turns
+// around, and the acknowledgement floods down. Interior nodes are
+// passive (their first operations are the Recvs of their children's
+// reports), so at any instant only the active frontier of the tree is
+// materialized.
+type scaleBarrierScript struct {
+	p, d int
+	step []int32
+}
+
+func newScaleBarrierScript(p, d int) *scaleBarrierScript {
+	return &scaleBarrierScript{p: p, d: d, step: make([]int32, p)}
+}
+
+func (s *scaleBarrierScript) children(id int) (lo, n int) {
+	lo = s.d*id + 1
+	if lo < s.p {
+		n = s.p - lo
+		if n > s.d {
+			n = s.d
+		}
+	}
+	return lo, n
+}
+
+func (s *scaleBarrierScript) Active(id int) bool {
+	_, n := s.children(id)
+	return n == 0
+}
+
+func (s *scaleBarrierScript) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
+	lo, c := s.children(id)
+	k := int(s.step[id])
+	s.step[id]++
+	if id == 0 {
+		switch {
+		case k < c: // combine: one report per child
+			return logp.ScriptOp{Kind: logp.ScriptRecv}
+		case k < 2*c: // broadcast the acknowledgement
+			return logp.ScriptOp{Kind: logp.ScriptSend, Dst: lo + (k - c), Tag: 2}
+		default:
+			return logp.ScriptOp{Kind: logp.ScriptHalt}
+		}
+	}
+	switch {
+	case k < c:
+		return logp.ScriptOp{Kind: logp.ScriptRecv}
+	case k == c:
+		return logp.ScriptOp{Kind: logp.ScriptSend, Dst: (id - 1) / s.d, Tag: 1}
+	case k == c+1:
+		return logp.ScriptOp{Kind: logp.ScriptRecv}
+	case k < 2*c+2:
+		return logp.ScriptOp{Kind: logp.ScriptSend, Dst: lo + (k - c - 2), Tag: 2}
+	default:
+		return logp.ScriptOp{Kind: logp.ScriptHalt}
+	}
+}
+
+// scaleRouteScript realizes the cyclic-shift h-relation: processor id
+// submits its j-th message to (id + 1 + j) mod p, so every processor
+// sends and receives exactly h messages. Sends run ahead of receives
+// by at most the window w: a processor sends eagerly while fewer than
+// w of its messages are unacknowledged by its own receive count, then
+// drains one before sending more. With w = ceil(L/G) (the capacity)
+// the window hides the latency completely — a message is w rounds old
+// when its receive is issued, and a round costs at least 2G (send and
+// acquire share the per-processor gap stream), so w*2G >= 2L — while
+// bounding the in-flight message population by p*w instead of p*h.
+// Submitting all h messages up front would materialize every record of
+// the relation at once, ~10 GB at p=10^6, h=32; the window keeps the
+// same class-scheduled, stall-free routing at O(p*capacity) memory.
+type scaleRouteScript struct {
+	p, h, w    int
+	sent, rcvd []int32
+}
+
+func newScaleRouteScript(p, h, w int) *scaleRouteScript {
+	if w < 1 {
+		w = 1
+	}
+	return &scaleRouteScript{p: p, h: h, w: w, sent: make([]int32, p), rcvd: make([]int32, p)}
+}
+
+func (s *scaleRouteScript) Active(int) bool { return true }
+
+func (s *scaleRouteScript) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
+	switch sent, rcvd := int(s.sent[id]), int(s.rcvd[id]); {
+	case s.p == 1:
+		return logp.ScriptOp{Kind: logp.ScriptHalt}
+	case sent < s.h && sent-rcvd < s.w:
+		s.sent[id]++
+		return logp.ScriptOp{Kind: logp.ScriptSend, Dst: (id + 1 + sent) % s.p, Tag: int32(sent), Payload: int64(id)}
+	case rcvd < s.h:
+		s.rcvd[id]++
+		return logp.ScriptOp{Kind: logp.ScriptRecv}
+	default:
+		return logp.ScriptOp{Kind: logp.ScriptHalt}
+	}
+}
+
+// runScaleScript executes a script on a fresh native LogP machine.
+func runScaleScript(cfg Config, lp logp.Params, s logp.Script) logp.Result {
+	var opts []logp.Option
+	if cfg.Shards >= 2 {
+		opts = append(opts, logp.WithShards(cfg.Shards))
+	}
+	res, err := logp.NewMachine(lp, opts...).RunScript(s)
+	must(err)
+	return res
+}
+
+// E14Scale regenerates Theorem 1 at large p: ring and broadcast
+// workloads run natively on the sparse LogP engine and replayed on BSP
+// by the scripted cycle engine, with the measured slowdown against the
+// guest time. The replay is stall-free for both workloads, so the
+// slowdown stays O(1 + g/G + l/L) independent of p.
+func E14Scale(procs int) func(Config) *Table {
+	return func(cfg Config) *Table {
+		p := procs
+		if cfg.Quick && p > 100_000 {
+			p = 100_000
+		}
+		lp := scaleLogP(p)
+		t := &Table{
+			ID:      "E14",
+			Title:   fmt.Sprintf("Scale: Theorem 1 at p=%d (sparse script engines)", p),
+			Columns: []string{"workload", "p", "logp-T", "msgs", "bsp-T", "cycles", "maxH", "slowdown"},
+			Notes: []string{
+				"logp-T: native sparse LogP time; bsp-T: scripted Theorem 1 cycle replay",
+				"slowdown = bsp-T / logp-T, O(1 + g/G + l/L) for stall-free programs at every p",
+			},
+		}
+		workloads := []struct {
+			name string
+			mk   func() logp.Script
+		}{
+			{"ring", func() logp.Script { return newScaleRingScript(p, 2) }},
+			{"bcast", func() logp.Script { return newScaleBcastScript(p) }},
+		}
+		for _, w := range workloads {
+			native := runScaleScript(cfg, lp, w.mk())
+			sim := &core.LogPOnBSP{LogP: lp}
+			rep, err := sim.RunScript(w.mk())
+			must(err)
+			slow := float64(rep.BSPTime) / float64(native.Time)
+			t.AddRow(w.name, p, native.Time, rep.MessagesSent, rep.BSPTime, rep.Cycles, rep.MaxCycleH, slow)
+		}
+		return t
+	}
+}
+
+// E15Scale regenerates Theorem 2's slowdown regimes at large p: one
+// BSP superstep (an h-relation plus barrier) executes on the native
+// LogP machine as class-scheduled routing followed by the d-ary CB
+// barrier, and is charged against the analytic BSP superstep cost
+// w + g*h + l with matched parameters. For h large enough that G*h
+// dominates L*log p the slowdown flattens to O(1); for small h the
+// barrier's L*log_d(p) term dominates and the slowdown follows
+// O(L*log p / ((G*h + L)*log(1 + ceil(L/G)))), growing with p — the
+// paper's two regimes, separated on one machine.
+func E15Scale(procs int) func(Config) *Table {
+	return func(cfg Config) *Table {
+		p := procs
+		if cfg.Quick && p > 100_000 {
+			p = 100_000
+		}
+		lp := scaleLogP(p)
+		bp := bsp.Params{P: p, G: lp.G, L: lp.L}
+		d := collective.TreeArity(lp)
+		capacity := lp.Capacity()
+		t := &Table{
+			ID:      "E15",
+			Title:   fmt.Sprintf("Scale: Theorem 2 regimes at p=%d (superstep on sparse LogP)", p),
+			Columns: []string{"p", "h", "route-T", "barrier-T", "step-T", "bsp-T", "S-route", "S", "S-ref"},
+			Notes: []string{
+				fmt.Sprintf("d-ary CB barrier with d = ceil(L/G) = %d; route: class-scheduled cyclic shifts", d),
+				"S-route = route-T / (g*h + l): the p-independent O(1) regime",
+				"S = step-T / (g*h + l); S-ref = L*log2(p) / ((G*h+L)*log2(1+ceil(L/G)))",
+				"the barrier's L*log_d(p) term keeps S = O(log p) at small h and washes out as G*h grows",
+			},
+		}
+		barrier := runScaleScript(cfg, lp, newScaleBarrierScript(p, d)).Time
+		for _, h := range []int{1, int(capacity), 4 * int(capacity)} {
+			route := int64(0)
+			if p > 1 {
+				route = runScaleScript(cfg, lp, newScaleRouteScript(p, h, int(capacity))).Time
+			}
+			step := route + barrier
+			bspT := bsp.SuperstepCost{W: 0, H: int64(h)}.Time(bp)
+			sroute := float64(route) / float64(bspT)
+			s := float64(step) / float64(bspT)
+			//lint:ignore costcharge dimensionless Theorem 2 reference curve, not a cost charge
+			sref := float64(lp.L) * log2f(float64(p)) /
+				((float64(lp.G)*float64(h) + float64(lp.L)) * log2f(1+float64(capacity)))
+			t.AddRow(p, h, route, barrier, step, bspT, sroute, s, sref)
+		}
+		return t
+	}
+}
+
+// Scale lists the large-p experiments at p = 10^4, 10^5, 10^6. They
+// are registered separately from All(): each run is seconds of wall
+// time and hundreds of megabytes of guest state, which would swamp the
+// quick suite. cmd/bsplogp selects them with -scale; under -quick the
+// p=10^6 entries are skipped and the rest shrink to p = 10^5.
+func Scale() []Experiment {
+	sizes := []struct {
+		suffix string
+		procs  int
+	}{
+		{"p10k", 10_000},
+		{"p100k", 100_000},
+		{"p1m", 1_000_000},
+	}
+	var out []Experiment
+	for _, sz := range sizes {
+		out = append(out,
+			Experiment{
+				ID:    "E14." + sz.suffix,
+				Name:  fmt.Sprintf("Scale: Theorem 1 replay at p=%d", sz.procs),
+				Procs: sz.procs,
+				Run:   E14Scale(sz.procs),
+			},
+			Experiment{
+				ID:    "E15." + sz.suffix,
+				Name:  fmt.Sprintf("Scale: Theorem 2 regimes at p=%d", sz.procs),
+				Procs: sz.procs,
+				Run:   E15Scale(sz.procs),
+			},
+		)
+	}
+	return out
+}

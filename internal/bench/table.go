@@ -117,36 +117,46 @@ type Experiment struct {
 	ID   string
 	Name string
 	Run  func(Config) *Table
+	// Procs is the guest processor count of a scale experiment (zero
+	// for the regular suite); -bench uses it to normalize allocation
+	// traffic into a bytes-per-processor figure.
+	Procs int
 }
 
 // All lists every experiment in DESIGN.md order.
 func All() []Experiment {
 	return []Experiment{
-		{"E1", "Table 1: topology parameters, analytic and measured", E1Table1},
-		{"E2", "Theorem 1: LogP-on-BSP slowdown", E2LogPOnBSP},
-		{"E3", "Theorem 2: BSP-on-LogP deterministic slowdown S(L,G,p,h)", E3BSPOnLogPDet},
-		{"E4", "Theorem 3: randomized routing vs beta*G*h", E4Randomized},
-		{"E5", "Propositions 1-2: Combine-and-Broadcast time", E5CombineBroadcast},
-		{"E6", "Stalling: hot-spot behaviour and the stalling extension", E6Stalling},
-		{"E7", "Observation 1: best attainable (g*,l*) vs (G*,L*)", E7Observation1},
-		{"E8", "Off-line routing: measured vs 2o+G(h-1)+L", E8Offline},
-		{"E9", "Section 6: radix-sort bucket exchange vs key skew", E9RadixSkew},
-		{"E10", "Portability: one BSP program on every topology", E10Portability},
-		{"E11", "Section 6: partitionability / multiuser operation", E11Partitionability},
-		{"E12", "Section 6: parameter changes and program behaviour", E12ParameterPortability},
-		{"E13", "Section 5: LogP directly on each topology", E13LogPOnNetworks},
-		{"A1", "Ablation: delivery-time policy", A1DeliveryPolicy},
-		{"A2", "Ablation: CB tree arity", A2CBArity},
-		{"A3", "Ablation: randomized batch factor", A3BatchFactor},
-		{"A4", "Ablation: oblivious sorter", A4Sorter},
-		{"A5", "Ablation: Theorem 1 cycle length", A5CycleLen},
-		{"A6", "Ablation: Stalling Rule acceptance order", A6AcceptOrder},
+		{"E1", "Table 1: topology parameters, analytic and measured", E1Table1, 0},
+		{"E2", "Theorem 1: LogP-on-BSP slowdown", E2LogPOnBSP, 0},
+		{"E3", "Theorem 2: BSP-on-LogP deterministic slowdown S(L,G,p,h)", E3BSPOnLogPDet, 0},
+		{"E4", "Theorem 3: randomized routing vs beta*G*h", E4Randomized, 0},
+		{"E5", "Propositions 1-2: Combine-and-Broadcast time", E5CombineBroadcast, 0},
+		{"E6", "Stalling: hot-spot behaviour and the stalling extension", E6Stalling, 0},
+		{"E7", "Observation 1: best attainable (g*,l*) vs (G*,L*)", E7Observation1, 0},
+		{"E8", "Off-line routing: measured vs 2o+G(h-1)+L", E8Offline, 0},
+		{"E9", "Section 6: radix-sort bucket exchange vs key skew", E9RadixSkew, 0},
+		{"E10", "Portability: one BSP program on every topology", E10Portability, 0},
+		{"E11", "Section 6: partitionability / multiuser operation", E11Partitionability, 0},
+		{"E12", "Section 6: parameter changes and program behaviour", E12ParameterPortability, 0},
+		{"E13", "Section 5: LogP directly on each topology", E13LogPOnNetworks, 0},
+		{"A1", "Ablation: delivery-time policy", A1DeliveryPolicy, 0},
+		{"A2", "Ablation: CB tree arity", A2CBArity, 0},
+		{"A3", "Ablation: randomized batch factor", A3BatchFactor, 0},
+		{"A4", "Ablation: oblivious sorter", A4Sorter, 0},
+		{"A5", "Ablation: Theorem 1 cycle length", A5CycleLen, 0},
+		{"A6", "Ablation: Stalling Rule acceptance order", A6AcceptOrder, 0},
 	}
 }
 
-// Lookup finds an experiment by id (case-insensitive).
+// Lookup finds an experiment by id (case-insensitive), searching the
+// regular suite and the large-p scale registry.
 func Lookup(id string) (Experiment, bool) {
 	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	for _, e := range Scale() {
 		if strings.EqualFold(e.ID, id) {
 			return e, true
 		}

@@ -21,13 +21,17 @@ import (
 //
 // It requires a power-of-two p (the bitonic schedule); callers fall
 // back to the closed-form charge otherwise.
-func stallingExtensionTime(bp bsp.Params, rel relation.Relation, capacity, gap int64) int64 {
+//
+// The caller lends its Grouping so replays over many overloaded cycles
+// regroup each cycle's relation into one reused backing instead of
+// paying BySource's O(p) allocations per cycle.
+func stallingExtensionTime(bp bsp.Params, rel relation.Relation, g *relation.Grouping, capacity, gap int64) int64 {
 	p := bp.P
-	bySrc := rel.BySource()
+	g.Group(rel)
 	r := 0
-	for _, msgs := range bySrc {
-		if len(msgs) > r {
-			r = len(msgs)
+	for i := 0; i < p; i++ {
+		if d := g.FanOut(i); d > r {
+			r = d
 		}
 	}
 	if r == 0 {
@@ -46,7 +50,7 @@ func stallingExtensionTime(bp bsp.Params, rel relation.Relation, capacity, gap i
 		id := pr.ID()
 		// Keys are destinations; dummies carry key p and sort last.
 		keys := make([]int64, 0, r)
-		for _, m := range bySrc[id] {
+		for _, m := range g.Source(id) {
 			keys = append(keys, int64(m.Dst))
 		}
 		for len(keys) < r {

@@ -118,6 +118,22 @@ func (s *LogPOnBSP) params() (logp.Params, bsp.Params, int64, int) {
 // submission order, which is one of the admissible LogP executions for
 // a stall-free program.
 func (s *LogPOnBSP) Run(prog logp.Program) (Thm1Result, error) {
+	return s.execute(prog, nil)
+}
+
+// RunScript executes a logp.Script under the same Theorem 1
+// construction. The scripted form drives every guest as an explicit
+// state machine instead of a parked coroutine, so the replay fits at
+// p = 10^6: per guest the engine holds one small cycleProc record and
+// no goroutine stack. Script.Active is ignored here — every guest is
+// started eagerly, which by the passivity contract is indistinguishable
+// from lazy instantiation — and the replayed cost is identical to
+// Run(logp.ScriptAsProgram(s)).
+func (s *LogPOnBSP) RunScript(sc logp.Script) (Thm1Result, error) {
+	return s.execute(nil, sc)
+}
+
+func (s *LogPOnBSP) execute(prog logp.Program, sc logp.Script) (Thm1Result, error) {
 	lp, bp, cycleLen, fold := s.params()
 	if err := lp.Validate(); err != nil {
 		return Thm1Result{}, err
@@ -135,14 +151,29 @@ func (s *LogPOnBSP) Run(prog logp.Program) (Thm1Result, error) {
 		lp:       lp,
 		cycleLen: cycleLen,
 		fold:     fold,
-		sent:     map[int64][]int64{},
-		rcvd:     map[int64][]int64{},
-		sentX:    map[int64][]int64{},
-		rcvdX:    map[int64][]int64{},
-		msgs:     map[int64][]relation.Pair{},
+		rcvdCnt:  map[int64]int32{},
+		// The executed stalling extension needs a cycle's message pairs;
+		// it only runs for the unfolded power-of-two replay, so pairs are
+		// retained only there — everything else keeps O(1) per message.
+		keepPairs: fold == 1 && isPow2(lp.P),
+	}
+	if fold == 1 {
+		eng.sentCnt = map[int64]int32{}
+	} else {
+		eng.sentX = map[int64]int32{}
+		eng.rcvdX = map[int64]int32{}
+	}
+	if eng.keepPairs {
+		eng.msgs = map[int64][]relation.Pair{}
 	}
 	defer eng.shutdown()
-	if err := eng.run(prog); err != nil {
+	var err error
+	if sc != nil {
+		err = eng.runScript(sc)
+	} else {
+		err = eng.run(prog)
+	}
+	if err != nil {
 		return Thm1Result{}, err
 	}
 	return eng.result(bp), nil
@@ -151,22 +182,45 @@ func (s *LogPOnBSP) Run(prog logp.Program) (Thm1Result, error) {
 // cycleEngine replays a LogP program with per-cycle bookkeeping. It is
 // a reduced variant of the logp engine: the medium accepts every
 // submission immediately and delivers it at the next cycle boundary.
+//
+// The bookkeeping is sparse: per-guest counts live in flat maps keyed
+// cycle*width + id (O(1) per message, O(messages) total) rather than an
+// O(p) row per touched cycle, and the per-cycle aggregates result()
+// needs — the relation degree and the overload flag — are folded in
+// incrementally at submission time. Runnable guests sit in a (clock,
+// id) min-heap, so each scheduling step costs O(log p) instead of the
+// former O(p) scan. Together these keep a p = 10^6 replay's cost
+// proportional to its traffic, not to p times its length.
 type cycleEngine struct {
 	lp       logp.Params
 	cycleLen int64
 	fold     int
 
+	// script is non-nil for the coroutine-free form (runScript): guests
+	// are advanced by scriptSegment instead of an iter.Pull resume.
+	script logp.Script
+
 	procs  []*cycleProc
+	ready  cycleReadyHeap
 	events cycleHeap
 	seq    int64
 
-	sent map[int64][]int64         // cycle -> per-guest submissions
-	rcvd map[int64][]int64         // cycle -> per-guest fan-in
-	msgs map[int64][]relation.Pair // cycle -> message slots (for the executed extension)
+	sentCnt map[int64]int32 // fold == 1: (cycle*P + src) -> submissions
+	rcvdCnt map[int64]int32 // (cycle*P + dst) -> fan-in
 	// Host-level cross-traffic counts (guest-local messages between
 	// guests folded onto the same host are free).
-	sentX map[int64][]int64
-	rcvdX map[int64][]int64
+	sentX map[int64]int32 // fold > 1: (cycle*hostP + host) -> cross out
+	rcvdX map[int64]int32 // fold > 1: (cycle*hostP + host) -> cross in
+
+	maxH     []int64 // per cycle: running relation-degree maximum
+	overload []bool  // per cycle: some guest fan-in exceeded capacity
+
+	keepPairs bool
+	msgs      map[int64][]relation.Pair // cycle -> message slots (executed extension)
+
+	// grouping is lent to stallingExtensionTime so replays with many
+	// overloaded cycles regroup into one reused backing.
+	grouping relation.Grouping
 
 	guestTime int64
 	totalMsgs int64
@@ -328,6 +382,92 @@ func (h *cycleHeap) Pop() interface{} {
 	return v
 }
 
+// cycleReadyHeap orders runnable guests by (clock, id) — the commit
+// order of the replay. A guest's clock never changes while it sits in
+// the heap: clocks move only in exec (guest popped first) and
+// completeRecv (guest parked in cycleWaitMsg, outside the heap).
+type cycleReadyHeap []*cycleProc
+
+func (h cycleReadyHeap) Len() int { return len(h) }
+func (h cycleReadyHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].id < h[j].id
+}
+func (h cycleReadyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cycleReadyHeap) Push(x interface{}) { *h = append(*h, x.(*cycleProc)) }
+func (h *cycleReadyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return v
+}
+
+// scriptSegment advances a scripted guest to its next engine request,
+// mirroring the coroutine form exactly: the cycle engine has no
+// guest-side fast path, so every operation crosses except Halt and
+// Compute(0) — which logp.Proc.Compute resolves without a call — and
+// the segment performs the same validation panics the Proc methods
+// would raise, recovered into the same wrapped error the coroutine
+// epilogue records. The result fed to Next is rebuilt from the last
+// response just as logp.ScriptAsProgram rebuilds it from the Proc
+// calls, so both forms replay identically.
+func (p *cycleProc) scriptSegment() {
+	defer func() {
+		if r := recover(); r != nil {
+			p.pending = cycleReq{op: cycleOpPanic, err: fmt.Errorf("core: processor %d panicked: %v", p.id, r)}
+		}
+	}()
+	s := p.eng.script
+	res := logp.ScriptResult{Msg: p.resp.msg, OK: p.resp.ok, N: p.resp.n, Now: p.clock}
+	for {
+		op := s.Next(p.id, res)
+		switch op.Kind {
+		case logp.ScriptHalt:
+			p.pending = cycleReq{op: cycleOpDone}
+			return
+		case logp.ScriptCompute:
+			if op.N < 0 {
+				panic(fmt.Sprintf("core: Compute(%d) with negative cycles", op.N))
+			}
+			if op.N == 0 {
+				res = logp.ScriptResult{Now: p.clock}
+				continue
+			}
+			p.pending = cycleReq{op: cycleCompute, n: op.N}
+			return
+		case logp.ScriptWait:
+			p.pending = cycleReq{op: cycleIdle, n: op.N}
+			return
+		case logp.ScriptSend:
+			if op.Dst < 0 || op.Dst >= p.eng.lp.P {
+				panic(fmt.Sprintf("core: Send to invalid destination %d (P=%d)", op.Dst, p.eng.lp.P))
+			}
+			if op.Dst == p.id {
+				panic("core: Send to self; use local state instead")
+			}
+			p.pending = cycleReq{op: cycleSend, msg: logp.Message{
+				Src: p.id, Dst: op.Dst, Tag: op.Tag, Payload: op.Payload, Aux: op.Aux,
+			}}
+			return
+		case logp.ScriptRecv:
+			p.pending = cycleReq{op: cycleRecv}
+			return
+		case logp.ScriptTryRecv:
+			p.pending = cycleReq{op: cycleTryRecv}
+			return
+		case logp.ScriptBuffered:
+			p.pending = cycleReq{op: cycleBuffered}
+			return
+		default:
+			panic(fmt.Sprintf("core: unknown script op kind %d", op.Kind))
+		}
+	}
+}
+
 // sequence adapts prog to the coroutine protocol; see cycleProc.
 func (p *cycleProc) sequence(prog logp.Program) iter.Seq[token] {
 	return func(yield func(token) bool) {
@@ -368,21 +508,36 @@ func (e *cycleEngine) run(prog logp.Program) error {
 		p.next, p.stop = iter.Pull(p.sequence(prog))
 		e.await(p)
 	}
+	return e.loop()
+}
 
+func (e *cycleEngine) runScript(sc logp.Script) error {
+	e.script = sc
+	n := e.lp.P
+	e.procs = make([]*cycleProc, n)
+	for i := 0; i < n; i++ {
+		p := &cycleProc{id: i, eng: e}
+		e.procs[i] = p
+		e.await(p)
+	}
+	return e.loop()
+}
+
+// loop is the commit loop shared by both guest forms. The ready heap
+// realizes exactly the order the former O(p) scan picked — the
+// runnable guest with the smallest clock, lowest id on ties — at
+// O(log p) per step.
+func (e *cycleEngine) loop() error {
 	for {
-		var next *cycleProc
 		horizon := int64(math.MaxInt64)
-		for _, p := range e.procs {
-			if p.state == cycleReady && p.clock < horizon {
-				horizon = p.clock
-				next = p
-			}
+		if len(e.ready) > 0 {
+			horizon = e.ready[0].clock
 		}
 		if len(e.events) > 0 && e.events[0].time <= horizon {
 			e.deliverInstant(e.events[0].time)
 			continue
 		}
-		if next == nil {
+		if len(e.ready) == 0 {
 			allDone := true
 			for _, p := range e.procs {
 				if p.state != cycleDone {
@@ -404,7 +559,7 @@ func (e *cycleEngine) run(prog logp.Program) error {
 			}
 			return fmt.Errorf("core: deadlock in Theorem 1 replay: processors %v blocked on Recv", blocked)
 		}
-		e.exec(next)
+		e.exec(heap.Pop(&e.ready).(*cycleProc))
 	}
 
 	for len(e.events) > 0 {
@@ -418,10 +573,31 @@ func (e *cycleEngine) run(prog logp.Program) error {
 	return e.procErr
 }
 
+// await obtains p's next request — resuming the coroutine or running
+// the script segment — and, if the guest stays runnable, parks it in
+// the ready heap. Every caller has p out of the heap (startup, or just
+// popped by exec's committer), so the push cannot duplicate.
 func (e *cycleEngine) await(p *cycleProc) {
+	if p.next == nil {
+		p.scriptSegment()
+		switch p.pending.op {
+		case cycleOpDone:
+			p.state = cycleDone
+		case cycleOpPanic:
+			p.state = cycleDone
+			if e.procErr == nil {
+				e.procErr = p.pending.err
+			}
+		default:
+			p.state = cycleReady
+			heap.Push(&e.ready, p)
+		}
+		return
+	}
 	if _, ok := p.next(); ok {
 		p.pending = p.out
 		p.state = cycleReady
+		heap.Push(&e.ready, p)
 		return
 	}
 	p.state = cycleDone
@@ -435,22 +611,57 @@ func (e *cycleEngine) resume(p *cycleProc, r cycleRes) {
 	e.await(p)
 }
 
-func (e *cycleEngine) count(m map[int64][]int64, cycle int64, id, width int) {
-	row := m[cycle]
-	if row == nil {
-		row = make([]int64, width)
-		m[cycle] = row
+// ensureCycle grows the per-cycle aggregate arrays (O(cycles) total,
+// the same order as the CycleH slice result() returns).
+func (e *cycleEngine) ensureCycle(cycle int64) {
+	for int64(len(e.maxH)) <= cycle {
+		e.maxH = append(e.maxH, 0)
+		e.overload = append(e.overload, false)
 	}
-	row[id]++
+}
+
+func (e *cycleEngine) bump(m map[int64]int32, key int64) int64 {
+	c := m[key] + 1
+	m[key] = c
+	return int64(c)
+}
+
+func (e *cycleEngine) noteH(cycle, c int64) {
+	if c > e.maxH[cycle] {
+		e.maxH[cycle] = c
+	}
+}
+
+// countSend folds one submission into the sparse per-cycle statistics:
+// the flat count maps, the cycle's running relation-degree maximum,
+// and its overload flag. Counts only grow, so taking the maximum of
+// every intermediate value equals the maximum of the final per-guest
+// counts the dense rows used to hold.
+func (e *cycleEngine) countSend(cycle int64, msg logp.Message) {
+	e.ensureCycle(cycle)
+	in := e.bump(e.rcvdCnt, cycle*int64(e.lp.P)+int64(msg.Dst))
+	if in > e.lp.Capacity() {
+		e.overload[cycle] = true
+	}
+	if e.fold == 1 {
+		e.noteH(cycle, e.bump(e.sentCnt, cycle*int64(e.lp.P)+int64(msg.Src)))
+		e.noteH(cycle, in)
+	} else if msg.Src/e.fold != msg.Dst/e.fold {
+		// Folded hosts route the cross-host traffic of all their
+		// guests; only that traffic contributes to the host relation.
+		hostP := int64(e.lp.P / e.fold)
+		e.noteH(cycle, e.bump(e.sentX, cycle*hostP+int64(msg.Src/e.fold)))
+		e.noteH(cycle, e.bump(e.rcvdX, cycle*hostP+int64(msg.Dst/e.fold)))
+	}
+	if e.keepPairs {
+		e.msgs[cycle] = append(e.msgs[cycle], relation.Pair{Src: msg.Src, Dst: msg.Dst})
+	}
 }
 
 // cycleFanIn returns how many messages this cycle has already directed
 // at dst (before the current one).
 func (e *cycleEngine) cycleFanIn(cycle int64, dst int) int64 {
-	if row := e.rcvd[cycle]; row != nil {
-		return row[dst]
-	}
-	return 0
+	return int64(e.rcvdCnt[cycle*int64(e.lp.P)+int64(dst)])
 }
 
 func (e *cycleEngine) exec(p *cycleProc) {
@@ -490,14 +701,7 @@ func (e *cycleEngine) exec(p *cycleProc) {
 		if prior := e.cycleFanIn(cycle, req.msg.Dst); prior >= e.lp.Capacity() {
 			arrival += (prior - e.lp.Capacity() + 1) * e.lp.G
 		}
-		e.count(e.sent, cycle, req.msg.Src, e.lp.P)
-		e.count(e.rcvd, cycle, req.msg.Dst, e.lp.P)
-		e.msgs[cycle] = append(e.msgs[cycle], relation.Pair{Src: req.msg.Src, Dst: req.msg.Dst})
-		if e.fold > 1 && req.msg.Src/e.fold != req.msg.Dst/e.fold {
-			hostP := e.lp.P / e.fold
-			e.count(e.sentX, cycle, req.msg.Src/e.fold, hostP)
-			e.count(e.rcvdX, cycle, req.msg.Dst/e.fold, hostP)
-		}
+		e.countSend(cycle, req.msg)
 		e.totalMsgs++
 		e.seq++
 		heap.Push(&e.events, cycleEvent{time: arrival, seq: e.seq, msg: req.msg})
@@ -579,32 +783,9 @@ func (e *cycleEngine) result(bp bsp.Params) Thm1Result {
 	for k := int64(0); k < cycles; k++ {
 		var h int64
 		overloaded := false
-		if row := e.sent[k]; row != nil {
-			for _, c := range row {
-				if e.fold == 1 {
-					h = maxI64(h, c)
-				}
-			}
-		}
-		if row := e.rcvd[k]; row != nil {
-			for _, c := range row {
-				if e.fold == 1 {
-					h = maxI64(h, c)
-				}
-				if c > capacity {
-					overloaded = true
-				}
-			}
-		}
-		if e.fold > 1 {
-			// Folded hosts route the cross-host traffic of all
-			// their guests and replay fold guests' instructions.
-			for _, c := range e.sentX[k] {
-				h = maxI64(h, c)
-			}
-			for _, c := range e.rcvdX[k] {
-				h = maxI64(h, c)
-			}
+		if k < int64(len(e.maxH)) {
+			h = e.maxH[k]
+			overloaded = e.overload[k]
 		}
 		res.CycleH[k] = h
 		res.MaxCycleH = maxI64(res.MaxCycleH, h)
@@ -618,9 +799,9 @@ func (e *cycleEngine) result(bp bsp.Params) Thm1Result {
 			// the preprocessing runs as a real BSP program and its
 			// measured time is charged; otherwise the closed-form
 			// O(log p)-supersteps charge is used.
-			if e.fold == 1 && isPow2(e.lp.P) {
+			if e.keepPairs {
 				rel := relation.Relation{P: e.lp.P, Pairs: e.msgs[k]}
-				res.ExtensionTime += work + stallingExtensionTime(bp, rel, capacity, e.lp.G)
+				res.ExtensionTime += work + stallingExtensionTime(bp, rel, &e.grouping, capacity, e.lp.G)
 			} else {
 				res.ExtensionTime += work + extensionFormula(bp, h, capacity, lgp)
 			}

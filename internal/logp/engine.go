@@ -167,6 +167,26 @@ type Machine struct {
 	procs    []*proc
 	capacity int64 // params.Capacity(), cached off the per-instant path
 
+	// Scale-mode machinery (see lazy.go and script.go). script is the
+	// Script driving the current RunScript, curProg the Program of the
+	// current Run (for lazy coroutine instantiation), passiveStart the
+	// WithPassiveStart predicate. procFree pools recycled processor
+	// structs; startedBits marks ids ever materialized this run, so a
+	// nil procs slot is a template when clear and a recycled halted
+	// processor when set. procTimes, doneStall and doneBufLen retire
+	// the still-observable facts of recycled processors; doneCount and
+	// templateCount replace the O(P) completion scan.
+	script        Script
+	curProg       Program
+	passiveStart  func(int) bool
+	procFree      []*proc
+	startedBits   []uint64
+	templateCount int
+	doneCount     int
+	procTimes     []int64
+	doneStall     int64
+	doneBufLen    map[int]int
+
 	events eventHeap
 	seq    int64
 
@@ -382,18 +402,26 @@ func runner(p *proc, prog Program) {
 func (m *Machine) Run(prog Program) (Result, error) {
 	m.reset()
 	defer m.shutdown()
+	m.curProg = prog
+	defer func() { m.curProg = nil }()
 
+	var err error
 	if m.par != nil {
 		m.startParallel(prog)
-		if err := m.loopParallel(); err != nil {
-			return Result{}, err
-		}
-	} else if err := m.runSequential(prog); err != nil {
+		err = m.loopParallel()
+	} else {
+		err = m.runSequential(prog)
+	}
+	if err != nil {
 		return Result{}, err
 	}
+	return m.finishRun()
+}
 
-	// Drain in-flight deliveries so LastDelivery and buffer-depth
-	// statistics reflect the whole execution.
+// finishRun drains in-flight deliveries (so LastDelivery and
+// buffer-depth statistics reflect the whole execution) and assembles
+// the Result; it is shared by Run and RunScript.
+func (m *Machine) finishRun() (Result, error) {
 	for m.events.len() > 0 {
 		m.processInstant(m.events.minTime())
 	}
@@ -405,13 +433,20 @@ func (m *Machine) Run(prog Program) (Result, error) {
 		MessagesSent:   m.totalMsgs,
 		StallEvents:    m.stallEvents,
 		MaxBufferDepth: m.maxBuf,
+		StallCycles:    m.doneStall,
 		ProcTimes:      make([]int64, m.params.P),
 	}
 	for i, p := range m.procs {
-		res.ProcTimes[i] = p.clock
-		res.StallCycles += p.stallCycles
-		if p.clock > res.Time {
-			res.Time = p.clock
+		t := int64(0)
+		if p != nil {
+			t = p.clock
+			res.StallCycles += p.stallCycles
+		} else {
+			t = m.procTimes[i] // recycled after halting
+		}
+		res.ProcTimes[i] = t
+		if t > res.Time {
+			res.Time = t
 		}
 	}
 	if m.auditor != nil {
@@ -443,7 +478,11 @@ func (m *Machine) runSequential(prog Program) error {
 	// advertises to the fast path of the ones already running.
 	m.resumeFloor = 0
 	for i := 0; i < m.params.P; i++ {
-		p := m.procs[i]
+		if m.passiveStart != nil && !m.slowPath && m.passiveStart(i) {
+			m.templateCount++
+			continue
+		}
+		p := m.ensureProc(i)
 		p.reinit(m.slowPath)
 		if p.fast {
 			p.watermark = m.localWatermark()
@@ -463,7 +502,14 @@ func (m *Machine) runSequential(prog Program) error {
 		}
 	}
 	m.resumeFloor = math.MaxInt64
+	return m.commitLoop()
+}
 
+// commitLoop is the sequential scheduler's main loop, shared by the
+// Program and Script forms: commit medium instants in time order and
+// processor operations in (clock, id) order until every processor is
+// done or nothing can make progress.
+func (m *Machine) commitLoop() error {
 	for {
 		horizon := int64(math.MaxInt64)
 		if len(m.ready) > 0 {
@@ -474,6 +520,13 @@ func (m *Machine) runSequential(prog Program) error {
 			continue
 		}
 		if len(m.ready) == 0 {
+			if m.templateCount > 0 {
+				// Nothing can deliver to the remaining passive
+				// processors anymore; run their prefixes as the dense
+				// startup sweep would have, then re-judge completion.
+				m.finalizeTemplates()
+				continue
+			}
 			if m.allDone() {
 				return nil
 			}
@@ -521,12 +574,24 @@ func (m *Machine) reset() {
 	}
 	m.runs++
 	m.capacity = m.params.Capacity()
+	// Processor structs are materialized on demand (ensureProc): the
+	// startup sweeps create only the active ones, and recycled or
+	// previous-run structs wait in the pool.
 	if len(m.procs) != p {
 		m.procs = make([]*proc, p)
-		for i := range m.procs {
-			m.procs[i] = &proc{id: i, m: m}
+	} else {
+		for i, pr := range m.procs {
+			if pr != nil {
+				m.procs[i] = nil
+				m.procFree = append(m.procFree, pr)
+			}
 		}
 	}
+	m.startedBits = reuseWords(m.startedBits, (p+63)/64)
+	m.templateCount = 0
+	m.doneCount = 0
+	m.doneStall = 0
+	clear(m.doneBufLen)
 	m.events = m.events[:0]
 	m.seq = 0
 	m.ready = m.ready[:0]
@@ -671,17 +736,15 @@ func (m *Machine) popBufFree(p *proc) {
 }
 
 func (m *Machine) allDone() bool {
-	for _, p := range m.procs {
-		if p.state != stateDone {
-			return false
-		}
-	}
-	return true
+	return m.doneCount == m.params.P
 }
 
 func (m *Machine) deadlockError() error {
 	var waitMsg, waitAcc []int
 	for _, p := range m.procs {
+		if p == nil {
+			continue // recycled after halting; templates are finalized first
+		}
 		switch p.state {
 		case stateWaitMsg:
 			waitMsg = append(waitMsg, p.id)
@@ -733,11 +796,7 @@ func (m *Machine) localWatermark() int64 {
 // accounting of the serialized engine.
 func (m *Machine) await(p *proc) {
 	if p.fast {
-		if _, ok := p.next(); ok {
-			p.pending = p.out
-		} else {
-			p.pending = p.final
-		}
+		p.advance()
 	} else {
 		p.pending = <-p.req
 	}
@@ -748,13 +807,32 @@ func (m *Machine) await(p *proc) {
 	switch p.pending.kind {
 	case opDone:
 		p.state = stateDone
+		m.doneCount++
+		m.maybeRecycle(p)
 	case opPanic:
 		if m.procErr == nil {
 			m.procErr = p.pending.err
 		}
 		p.state = stateDone
+		m.doneCount++
+		m.maybeRecycle(p)
 	default:
 		p.state = stateReady
+	}
+}
+
+// advance runs p to its next engine crossing and parks the request in
+// p.pending: a coroutine is resumed, a scripted processor (p.next ==
+// nil under RunScript) runs its state-machine segment inline.
+func (p *proc) advance() {
+	if p.next == nil {
+		p.scriptSegment()
+		return
+	}
+	if _, ok := p.next(); ok {
+		p.pending = p.out
+	} else {
+		p.pending = p.final
 	}
 }
 
@@ -964,8 +1042,30 @@ func (m *Machine) processInstant(t int64) {
 				m.emit(Event{Time: t, Kind: EvDeliver, Seq: rec.msgID, Msg: rec.msg})
 			}
 			p := m.procs[dst]
+			if p == nil && !m.started(dst) {
+				// First message for a passive template: materialize it
+				// and run its local prefix now (unobservable by the
+				// passivity contract), then deliver as usual.
+				m.instantiateLazy(dst, t)
+				p = m.procs[dst] // nil again if the prefix halted and was recycled
+			}
 			rec.at = t
-			if p.state == stateRunning {
+			if p == nil {
+				// The destination halted and was recycled. The dense
+				// engine would append to the done processor's buffer
+				// forever; only the depth is observable, so track it in
+				// doneBufLen and free the record immediately.
+				if m.doneBufLen == nil {
+					m.doneBufLen = make(map[int]int)
+				}
+				n := m.doneBufLen[dst] + 1
+				m.doneBufLen[dst] = n
+				if n > m.maxBuf {
+					m.maxBuf = n
+				}
+				m.recSlab[ref.idx] = msgRec{next: m.recFree}
+				m.recFree = ref.idx
+			} else if p.state == stateRunning {
 				// p's program is running ahead on its shard worker, and
 				// its local buffer view must stay frozen mid-segment
 				// (the segment's failing polls resolved against the
@@ -988,7 +1088,7 @@ func (m *Machine) processInstant(t int64) {
 			}
 			m.lastDelivery = t
 			m.dirtyBits[dst>>6] |= 1 << (uint(dst) & 63)
-			if p.state == stateWaitMsg {
+			if p != nil && p.state == stateWaitMsg {
 				m.wakeRecvBits[dst>>6] |= 1 << (uint(dst) & 63)
 			}
 		} else {

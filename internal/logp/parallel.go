@@ -90,14 +90,31 @@ func (h *boundHeap) pop() {
 	*h = a
 }
 
+// parBatch is the dispatch batch size: runs of dispatches to the same
+// shard ride one channel handoff instead of one per processor. The
+// commit loop frequently releases many low-clock processors in one
+// instant (a barrier wave, a broadcast level), and per-proc handoffs
+// made the commit loop's channel sends the Amdahl ceiling of the
+// sharded scheduler. Batching is invisible to the execution: a staged
+// processor's watermark, bound, and dispatch sequence are fixed at
+// dispatch time, and every blocking wait flushes first.
+const parBatch = 32
+
 // parEngine is the sharded scheduler's per-machine state. The commit
-// loop owns everything here; workers only ever touch the procs handed
-// to them through workCh.
+// loop owns everything here except recycleCh; workers only ever touch
+// the procs handed to them through workCh and return drained batch
+// slices through recycleCh.
 type parEngine struct {
-	workCh  []chan *proc
-	doneCh  chan *proc
-	wg      sync.WaitGroup
-	started bool
+	workCh []chan []*proc
+	doneCh chan *proc
+	wg     sync.WaitGroup
+
+	// stage accumulates dispatches per shard until parBatch is reached
+	// or a blocking wait forces a flush; recycleCh returns emptied
+	// batch slices from the workers for reuse.
+	stage     [][]*proc
+	recycleCh chan []*proc
+	started   bool
 
 	running  int   // dispatched segments not yet collected
 	seq      int64 // dispatch counter; orders panic reports
@@ -117,12 +134,19 @@ func (m *Machine) resetPar() {
 		return
 	}
 	if m.par == nil || len(m.par.workCh) != shards {
-		m.par = &parEngine{workCh: make([]chan *proc, shards)}
+		m.par = &parEngine{
+			workCh:    make([]chan []*proc, shards),
+			stage:     make([][]*proc, shards),
+			recycleCh: make(chan []*proc, 2*shards),
+		}
 	}
 	e := m.par
 	e.running = 0
 	e.seq, e.panicSeq = 0, 0
 	e.bounds = e.bounds[:0]
+	for i := range e.stage {
+		e.stage[i] = e.stage[i][:0]
+	}
 }
 
 // parWorker runs program segments for the procs handed to it. A worker
@@ -132,16 +156,36 @@ func (m *Machine) resetPar() {
 // Completion order on doneCh is scheduler-dependent; the commit loop
 // never lets it reach an observable effect — collect re-parks procs
 // into the ready heap, which re-sorts by (clock, id).
-func parWorker(work <-chan *proc, done chan<- *proc, wg *sync.WaitGroup) {
+func parWorker(work <-chan []*proc, done chan<- *proc, recycle chan<- []*proc, wg *sync.WaitGroup) {
 	defer wg.Done()
-	for p := range work {
-		if _, ok := p.next(); ok {
-			p.pending = p.out
-		} else {
-			p.pending = p.final
+	for batch := range work {
+		for i, p := range batch {
+			batch[i] = nil
+			p.advance()
+			done <- p
 		}
-		done <- p
+		select {
+		case recycle <- batch[:0]:
+		default: // recycle pool full; let the GC have it
+		}
 	}
+}
+
+// startWorkers builds the per-run channels and spawns one worker per
+// shard.
+func (m *Machine) startWorkers() {
+	e := m.par
+	shards := len(e.workCh)
+	for i := range e.workCh {
+		n := (m.params.P - i + shards - 1) / shards // procs with id ≡ i mod shards
+		e.workCh[i] = make(chan []*proc, n/parBatch+1)
+	}
+	e.doneCh = make(chan *proc, m.params.P)
+	for i := range e.workCh {
+		e.wg.Add(1)
+		go parWorker(e.workCh[i], e.doneCh, e.recycleCh, &e.wg)
+	}
+	e.started = true
 }
 
 // startParallel spawns the shard workers and dispatches every
@@ -149,25 +193,38 @@ func parWorker(work <-chan *proc, done chan<- *proc, wg *sync.WaitGroup) {
 // programs not yet dispatched sit at clock 0, which resumeFloor
 // advertises to the segments already running.
 func (m *Machine) startParallel(prog Program) {
-	e := m.par
-	shards := len(e.workCh)
-	for i := range e.workCh {
-		n := (m.params.P - i + shards - 1) / shards // procs with id ≡ i mod shards
-		e.workCh[i] = make(chan *proc, n)
-	}
-	e.doneCh = make(chan *proc, m.params.P)
-	for i := range e.workCh {
-		e.wg.Add(1)
-		go parWorker(e.workCh[i], e.doneCh, &e.wg)
-	}
-	e.started = true
+	m.startWorkers()
 	m.resumeFloor = 0
 	for i := 0; i < m.params.P; i++ {
-		p := m.procs[i]
+		if m.passiveStart != nil && m.passiveStart(i) {
+			m.templateCount++
+			continue
+		}
+		p := m.ensureProc(i)
 		p.reinit(false)
 		p.next, p.stop = iter.Pull(p.sequence(prog))
 		m.dispatch(p)
 	}
+	m.par.flushAll()
+	m.resumeFloor = math.MaxInt64
+}
+
+// startParallelScript is startParallel for the scripted form: only
+// active processors are materialized and dispatched; the rest become
+// templates.
+func (m *Machine) startParallelScript(s Script) {
+	m.startWorkers()
+	m.resumeFloor = 0
+	for i := 0; i < m.params.P; i++ {
+		if !s.Active(i) {
+			m.templateCount++
+			continue
+		}
+		p := m.ensureProc(i)
+		p.reinit(false)
+		m.dispatch(p)
+	}
+	m.par.flushAll()
 	m.resumeFloor = math.MaxInt64
 }
 
@@ -185,7 +242,36 @@ func (m *Machine) dispatch(p *proc) {
 	e.seq++
 	e.running++
 	e.bounds.push(boundRef{clock: p.clock, id: int32(p.id)})
-	e.workCh[p.id%len(e.workCh)] <- p
+	s := p.id % len(e.workCh)
+	e.stage[s] = append(e.stage[s], p)
+	if len(e.stage[s]) >= parBatch {
+		e.flushShard(s)
+	}
+}
+
+// flushShard hands shard s's staged batch to its worker and stages a
+// recycled (or fresh) slice for the next one.
+func (e *parEngine) flushShard(s int) {
+	b := e.stage[s]
+	if len(b) == 0 {
+		return
+	}
+	select {
+	case e.stage[s] = <-e.recycleCh:
+	default:
+		e.stage[s] = make([]*proc, 0, parBatch)
+	}
+	e.workCh[s] <- b
+}
+
+// flushAll hands every staged dispatch to its worker. The commit loop
+// must call it before any blocking wait on doneCh: a staged processor
+// can never complete, so blocking with a non-empty stage would
+// deadlock.
+func (e *parEngine) flushAll() {
+	for s := range e.workCh {
+		e.flushShard(s)
+	}
 }
 
 // minRunning returns the smallest (clock, id) dispatch bound over the
@@ -197,7 +283,7 @@ func (m *Machine) minRunning() (int64, int32, bool) {
 	for len(e.bounds) > 0 {
 		top := e.bounds[0]
 		p := m.procs[top.id]
-		if p.state == stateRunning && p.parBound == top.clock {
+		if p != nil && p.state == stateRunning && p.parBound == top.clock {
 			return top.clock, top.id, true
 		}
 		e.bounds.pop()
@@ -229,12 +315,16 @@ func (m *Machine) collect(p *proc) {
 	switch p.pending.kind {
 	case opDone:
 		p.state = stateDone
+		m.doneCount++
+		m.maybeRecycle(p)
 	case opPanic:
 		if m.procErr == nil || p.parSeq < e.panicSeq {
 			m.procErr = p.pending.err
 			e.panicSeq = p.parSeq
 		}
 		p.state = stateDone
+		m.doneCount++
+		m.maybeRecycle(p)
 	default:
 		p.state = stateReady
 		m.pushReady(p)
@@ -277,6 +367,7 @@ func (m *Machine) loopParallel() error {
 				// clock ties, exactly as the sequential loop orders
 				// them.
 				if bok && bc < t {
+					e.flushAll()
 					m.collect(<-e.doneCh)
 					continue
 				}
@@ -287,6 +378,7 @@ func (m *Machine) loopParallel() error {
 		if len(m.ready) > 0 {
 			cand := m.ready[0]
 			if bok && (bc < cand.clock || (bc == cand.clock && int(bid) < cand.id)) {
+				e.flushAll()
 				m.collect(<-e.doneCh)
 				continue
 			}
@@ -294,7 +386,15 @@ func (m *Machine) loopParallel() error {
 			continue
 		}
 		if e.running > 0 {
+			e.flushAll()
 			m.collect(<-e.doneCh)
+			continue
+		}
+		if m.templateCount > 0 {
+			// Nothing can deliver to the remaining passive processors
+			// anymore; run their prefixes as the dense startup sweep
+			// would have, then re-judge completion.
+			m.finalizeTemplates()
 			continue
 		}
 		if m.allDone() {
@@ -320,6 +420,7 @@ func (m *Machine) shutdownParallel() {
 	if e == nil || !e.started {
 		return
 	}
+	e.flushAll()
 	for e.running > 0 {
 		m.collect(<-e.doneCh)
 	}

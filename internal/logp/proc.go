@@ -173,6 +173,12 @@ type proc struct {
 	resp  response
 	fast  bool
 
+	// prefix is set while a lazily instantiated passive processor runs
+	// its pre-Recv prefix (see lazy.go): locally resolving polls are
+	// rejected there, because deferring them past startup would not
+	// commute with the rest of the machine.
+	prefix bool
+
 	// Sharded scheduler bookkeeping, touched only by the commit loop
 	// (never by the segment running on a shard worker). parBound is the
 	// clock this proc was dispatched at — a lower bound on where its
@@ -279,6 +285,7 @@ func (p *proc) TryRecv() (Message, bool) {
 			// the acquisition), but a gap violation fails locally no
 			// matter what else arrives.
 			if p.nextComm > p.clock {
+				p.failIfPrefix("TryRecv")
 				p.clock++ // one polling cycle
 				p.localOps++
 				return Message{}, false
@@ -286,6 +293,7 @@ func (p *proc) TryRecv() (Message, bool) {
 		} else if p.clock < p.watermark {
 			// Nothing buffered and nothing can arrive below the
 			// watermark: the poll fails without consulting the engine.
+			p.failIfPrefix("TryRecv")
 			p.clock++
 			p.localOps++
 			return Message{}, false
@@ -301,6 +309,7 @@ func (p *proc) Buffered() int {
 		// view (none can land below the watermark), and buffered
 		// arrivals never exceed the owner's clock, so the list length
 		// is the answer.
+		p.failIfPrefix("Buffered")
 		p.localOps++
 		return p.bufLen
 	}
@@ -322,6 +331,7 @@ func (p *proc) reinit(slow bool) {
 	p.next, p.stop, p.yield = nil, nil, nil
 	p.resp = response{}
 	p.fast = !slow
+	p.prefix = false
 	p.parBound = 0
 	p.parSeq = 0
 	p.parStage = p.parStage[:0]

@@ -1,0 +1,273 @@
+package logp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Script is the coroutine-free program form for million-processor
+// runs. A Program costs a parked coroutine per live processor —
+// roughly 2.7 GB of stacks and pull-state at p = 10⁶ — so the scale
+// mode instead drives processors as explicit state machines: the
+// engine asks Next for processor id's next operation, passing the
+// result of the previous one, and the script keeps whatever per-
+// processor state it needs in its own (typically slab-allocated)
+// structures. Per live processor the engine then holds only the
+// ~200-byte proc record.
+//
+// Next must be deterministic and, like a Program, may only touch state
+// owned by processor id (the bsplogpvet procshare rule): the sharded
+// scheduler runs Next for different processors concurrently.
+//
+// Active declares which processors have work of their own at time 0.
+// A processor with Active(id) == false is passive: it is represented
+// by a zero-byte template and instantiated only when a message first
+// arrives for it (or at termination, to observe its halt or Recv
+// deadlock). The passivity contract: a passive processor's operations
+// before its first Recv must be local and non-panicking — Compute or
+// WaitUntil only, no Send, TryRecv, or Buffered. Local prefixes
+// commute with every other processor's operations, so running the
+// prefix at first delivery instead of at startup is unobservable and
+// the sparse engine stays byte-identical to the dense one; the engine
+// reports a run error if the contract is broken.
+type Script interface {
+	// Active reports whether processor id has work before its first
+	// message arrives.
+	Active(id int) bool
+	// Next returns processor id's next operation. prev carries the
+	// completed previous operation's result: the acquired message and
+	// true for Recv, (message, success) for TryRecv, the buffered
+	// count in N for Buffered, and always the local clock in Now. The
+	// first call for a processor sees the zero result with Now = 0.
+	Next(id int, prev ScriptResult) ScriptOp
+}
+
+// ScriptKind identifies a scripted operation.
+type ScriptKind uint8
+
+const (
+	// ScriptHalt terminates the processor (a Program returning).
+	ScriptHalt ScriptKind = iota
+	// ScriptCompute advances the local clock by N >= 0 work units.
+	ScriptCompute
+	// ScriptWait idles until the local clock is at least N.
+	ScriptWait
+	// ScriptSend submits a message to Dst with Tag/Payload/Aux.
+	// Scripted messages carry no opaque Body.
+	ScriptSend
+	// ScriptRecv blocks until a message is acquired.
+	ScriptRecv
+	// ScriptTryRecv polls for a message.
+	ScriptTryRecv
+	// ScriptBuffered asks for the buffered-message count.
+	ScriptBuffered
+)
+
+// ScriptOp is one operation of a Script, mirroring the Proc methods.
+type ScriptOp struct {
+	Kind         ScriptKind
+	N            int64 // Compute work units or WaitUntil instant
+	Dst          int
+	Tag          int32
+	Payload, Aux int64
+}
+
+// ScriptResult reports a completed scripted operation back to Next.
+type ScriptResult struct {
+	Msg Message
+	OK  bool
+	N   int64
+	Now int64
+}
+
+// ScriptAsProgram adapts a Script to the coroutine Program form. The
+// adapter issues exactly the Proc calls the engine-side scripted
+// executor performs and rebuilds results the same way, so
+// Run(ScriptAsProgram(s)) is the dense differential oracle for
+// RunScript(s): traces, audit metrics, and Results must match byte for
+// byte.
+func ScriptAsProgram(s Script) Program {
+	return func(p Proc) {
+		id := p.ID()
+		res := ScriptResult{Now: p.Now()}
+		for {
+			op := s.Next(id, res)
+			switch op.Kind {
+			case ScriptHalt:
+				return
+			case ScriptCompute:
+				p.Compute(op.N)
+				res = ScriptResult{Now: p.Now()}
+			case ScriptWait:
+				p.WaitUntil(op.N)
+				res = ScriptResult{Now: p.Now()}
+			case ScriptSend:
+				p.Send(op.Dst, op.Tag, op.Payload, op.Aux)
+				res = ScriptResult{Now: p.Now()}
+			case ScriptRecv:
+				m := p.Recv()
+				res = ScriptResult{Msg: m, OK: true, Now: p.Now()}
+			case ScriptTryRecv:
+				m, ok := p.TryRecv()
+				res = ScriptResult{Msg: m, OK: ok, Now: p.Now()}
+			case ScriptBuffered:
+				n := p.Buffered()
+				res = ScriptResult{N: int64(n), Now: p.Now()}
+			default:
+				panic(fmt.Sprintf("logp: unknown script op kind %d", op.Kind))
+			}
+		}
+	}
+}
+
+// RunScript executes s with the scripted engine: no coroutines, lazy
+// instantiation of passive processors, and recycling of halted ones,
+// so cost is O(active processors) in memory while every observable —
+// Result, trace, audit metrics — is byte-identical to
+// Run(ScriptAsProgram(s)). Under WithSlowPath the call literally
+// redirects there, keeping the slow path the one oracle.
+func (m *Machine) RunScript(s Script) (Result, error) {
+	if m.slowPath {
+		return m.Run(ScriptAsProgram(s))
+	}
+	m.script = s
+	defer func() { m.script = nil }()
+	m.reset()
+	defer m.shutdown()
+
+	var err error
+	if m.par != nil {
+		m.startParallelScript(s)
+		err = m.loopParallel()
+	} else {
+		err = m.runSequentialScript(s)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return m.finishRun()
+}
+
+// runSequentialScript mirrors runSequential: active processors start
+// in id order, passive ones become templates, then the shared commit
+// loop interleaves instants and operations.
+func (m *Machine) runSequentialScript(s Script) error {
+	m.resumeFloor = 0
+	for i := 0; i < m.params.P; i++ {
+		if !s.Active(i) {
+			m.templateCount++
+			continue
+		}
+		p := m.ensureProc(i)
+		p.reinit(false)
+		p.watermark = m.localWatermark()
+		m.await(p)
+		if p.state == stateReady {
+			m.pushReady(p)
+		}
+	}
+	m.resumeFloor = math.MaxInt64
+	return m.commitLoop()
+}
+
+// scriptSegment advances a scripted processor to its next engine
+// crossing, mirroring the coroutine fast path's proc-side resolution
+// rules exactly: Compute and WaitUntil always resolve locally, a poll
+// fails locally when the gap forbids acquisition or nothing can have
+// arrived below the delivery watermark, and every other operation
+// parks a request for the engine. A panic out of Next (or a validation
+// failure) becomes the same opPanic request the coroutine epilogue
+// would record.
+func (p *proc) scriptSegment() {
+	defer func() {
+		if r := recover(); r != nil {
+			p.pending = request{kind: opPanic, err: fmt.Errorf("logp: processor %d panicked: %v", p.id, r)}
+		}
+	}()
+	s := p.m.script
+	res := ScriptResult{Msg: p.resp.msg, OK: p.resp.ok, N: p.resp.n, Now: p.clock}
+	for {
+		op := s.Next(p.id, res)
+		switch op.Kind {
+		case ScriptHalt:
+			p.pending = request{kind: opDone}
+			return
+
+		case ScriptCompute:
+			if op.N < 0 {
+				panic(fmt.Sprintf("logp: Compute(%d) with negative cycles", op.N))
+			}
+			if op.N > 0 {
+				p.clock += op.N
+				p.localOps++
+			}
+			res = ScriptResult{Now: p.clock}
+
+		case ScriptWait:
+			if op.N > p.clock {
+				p.clock = op.N
+			}
+			p.localOps++
+			res = ScriptResult{Now: p.clock}
+
+		case ScriptSend:
+			if op.Dst < 0 || op.Dst >= p.m.params.P {
+				panic(fmt.Sprintf("logp: Send to invalid destination %d (P=%d)", op.Dst, p.m.params.P))
+			}
+			if op.Dst == p.id {
+				panic("logp: Send to self; use local state instead")
+			}
+			p.pending = request{kind: opSend, msg: Message{
+				Src: p.id, Dst: op.Dst, Tag: op.Tag, Payload: op.Payload, Aux: op.Aux,
+			}}
+			return
+
+		case ScriptRecv:
+			p.pending = request{kind: opRecv}
+			return
+
+		case ScriptTryRecv:
+			if p.bufLen > 0 {
+				if p.nextComm > p.clock {
+					p.failIfPrefix("TryRecv")
+					p.clock++ // one polling cycle
+					p.localOps++
+					res = ScriptResult{Now: p.clock}
+					continue
+				}
+			} else if p.clock < p.watermark {
+				p.failIfPrefix("TryRecv")
+				p.clock++
+				p.localOps++
+				res = ScriptResult{Now: p.clock}
+				continue
+			}
+			p.pending = request{kind: opTryRecv}
+			return
+
+		case ScriptBuffered:
+			if p.clock < p.watermark {
+				p.failIfPrefix("Buffered")
+				p.localOps++
+				res = ScriptResult{N: int64(p.bufLen), Now: p.clock}
+				continue
+			}
+			p.pending = request{kind: opBuffered}
+			return
+
+		default:
+			panic(fmt.Sprintf("logp: unknown script op kind %d", op.Kind))
+		}
+	}
+}
+
+// failIfPrefix enforces the passivity contract on locally resolving
+// polls: a passive processor's pre-Recv prefix runs at first delivery
+// instead of at startup, which is only sound for operations that
+// commute with the rest of the machine — and a poll, even a locally
+// failing one, does not.
+func (p *proc) failIfPrefix(op string) {
+	if p.prefix {
+		panic(fmt.Sprintf("logp: passive processor %d performed %s before its first Recv", p.id, op))
+	}
+}

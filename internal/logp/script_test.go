@@ -1,0 +1,605 @@
+package logp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// ringScriptState is one processor's progress through the ring script.
+type ringScriptState struct{ sent, recvd int }
+
+// ringScript drives every processor: R sends around a directed ring,
+// then R blocking receives. All processors are active.
+type ringScript struct {
+	p, rounds int
+	st        []ringScriptState
+}
+
+func newRingScript(p, rounds int) *ringScript {
+	return &ringScript{p: p, rounds: rounds, st: make([]ringScriptState, p)}
+}
+
+func (s *ringScript) Active(int) bool { return true }
+
+func (s *ringScript) Next(id int, prev ScriptResult) ScriptOp {
+	st := &s.st[id]
+	if st.sent < s.rounds {
+		st.sent++
+		return ScriptOp{Kind: ScriptSend, Dst: (id + 1) % s.p, Tag: 1, Payload: int64(st.sent), Aux: int64(id)}
+	}
+	if st.recvd < s.rounds {
+		st.recvd++
+		return ScriptOp{Kind: ScriptRecv}
+	}
+	return ScriptOp{Kind: ScriptHalt}
+}
+
+// bcastScript is the binomial span-halving broadcast: only the root is
+// active; every other processor is passive until the value reaches it,
+// then relays into its half of the remaining range. With p = 10⁶ and a
+// handful of tree levels live at a time, the active set stays O(log p)
+// — the shape the lazy engine exists for.
+type bcastScript struct {
+	p  int
+	st []bcastState
+}
+
+type bcastState struct {
+	received bool
+	hi       int // exclusive upper end of the range this node covers
+}
+
+func newBcastScript(p int) *bcastScript {
+	return &bcastScript{p: p, st: make([]bcastState, p)}
+}
+
+func (s *bcastScript) Active(id int) bool { return id == 0 }
+
+func (s *bcastScript) Next(id int, prev ScriptResult) ScriptOp {
+	st := &s.st[id]
+	if !st.received {
+		if id == 0 {
+			st.received = true
+			st.hi = s.p
+		} else {
+			if !prev.OK {
+				return ScriptOp{Kind: ScriptRecv}
+			}
+			st.received = true
+			st.hi = int(prev.Msg.Payload)
+		}
+	}
+	if st.hi-id > 1 {
+		mid := id + (st.hi-id+1)/2
+		op := ScriptOp{Kind: ScriptSend, Dst: mid, Tag: 2, Payload: int64(st.hi), Aux: int64(id)}
+		st.hi = mid
+		return op
+	}
+	return ScriptOp{Kind: ScriptHalt}
+}
+
+// haltFloodScript: processor 0 halts immediately; every other
+// processor computes, then fires k messages at it and halts. The
+// messages land on a halted (and, in the sparse engine, recycled)
+// processor, pinning the doneBufLen accounting of MaxBufferDepth.
+type haltFloodScript struct {
+	p, k int
+	sent []int
+}
+
+func newHaltFloodScript(p, k int) *haltFloodScript {
+	return &haltFloodScript{p: p, k: k, sent: make([]int, p)}
+}
+
+func (s *haltFloodScript) Active(int) bool { return true }
+
+func (s *haltFloodScript) Next(id int, prev ScriptResult) ScriptOp {
+	if id == 0 {
+		return ScriptOp{Kind: ScriptHalt}
+	}
+	if s.sent[id] < s.k {
+		s.sent[id]++
+		return ScriptOp{Kind: ScriptSend, Dst: 0, Tag: 3, Payload: int64(s.sent[id]), Aux: 0}
+	}
+	return ScriptOp{Kind: ScriptHalt}
+}
+
+// prefixScript exercises the passivity contract's legal prefix: odd
+// processors are passive with a Compute+WaitUntil prefix before their
+// first Recv; even processors send to them.
+type prefixScript struct {
+	p  int
+	st []uint8
+}
+
+func newPrefixScript(p int) *prefixScript { return &prefixScript{p: p, st: make([]uint8, p)} }
+
+func (s *prefixScript) Active(id int) bool { return id%2 == 0 }
+
+func (s *prefixScript) Next(id int, prev ScriptResult) ScriptOp {
+	st := &s.st[id]
+	if id%2 == 0 {
+		if *st == 0 {
+			*st = 1
+			return ScriptOp{Kind: ScriptSend, Dst: (id + 1) % s.p, Tag: 4, Payload: int64(id), Aux: 7}
+		}
+		return ScriptOp{Kind: ScriptHalt}
+	}
+	switch *st {
+	case 0:
+		*st = 1
+		return ScriptOp{Kind: ScriptCompute, N: int64(3 + id%5)}
+	case 1:
+		*st = 2
+		return ScriptOp{Kind: ScriptWait, N: prev.Now + 2}
+	case 2:
+		*st = 3
+		return ScriptOp{Kind: ScriptRecv}
+	default:
+		return ScriptOp{Kind: ScriptHalt}
+	}
+}
+
+// runScriptOnce executes mk()'s script via RunScript and captures
+// everything observable, mirroring runOnce for the Program form.
+func runScriptOnce(t *testing.T, params Params, mk func() Script, opts ...Option) (Result, []Event, *Metrics, error) {
+	t.Helper()
+	a := NewAuditor(params, TraceOptions{RequireAcquired: false})
+	var events []Event
+	opts = append(opts, WithEventLog(func(ev Event) {
+		events = append(events, ev)
+		a.Observe(ev)
+	}))
+	m := NewMachine(params, opts...)
+	res, err := m.RunScript(mk())
+	if err != nil {
+		return res, events, nil, err
+	}
+	if err := a.Finish(res); err != nil {
+		t.Fatalf("auditor rejected an engine run: %v (all: %v)", err, a.Violations())
+	}
+	return res, events, a.Metrics(), nil
+}
+
+// checkScriptEquivalence asserts that the sparse scripted engine —
+// sequential and sharded — produces bit-for-bit the Results, traces,
+// and audit metrics of the dense coroutine oracle Run(ScriptAsProgram)
+// across delivery policies. mk must return a fresh Script each call
+// (scripts carry mutable per-processor state).
+func checkScriptEquivalence(t *testing.T, params Params, mk func() Script, shards []int) {
+	t.Helper()
+	for _, policy := range []DeliveryPolicy{DeliverMaxLatency, DeliverMinLatency, DeliverRandom} {
+		opts := []Option{WithDeliveryPolicy(policy), WithSeed(99)}
+		if policy == DeliverRandom {
+			opts = append(opts, WithAcceptOrder(AcceptRandom))
+		}
+		denseRes, denseTrace, denseMetrics, denseErr := runOnce(t, params, ScriptAsProgram(mk()), opts...)
+		for _, n := range shards {
+			name := fmt.Sprintf("sparse/%d-shard", n)
+			altOpts := opts
+			if n > 1 {
+				altOpts = append(append([]Option{}, opts...), WithShards(n))
+			}
+			altRes, altTrace, altMetrics, altErr := runScriptOnce(t, params, mk, altOpts...)
+			if (denseErr == nil) != (altErr == nil) ||
+				(denseErr != nil && denseErr.Error() != altErr.Error()) {
+				t.Fatalf("%v/%v %s: error mismatch: dense %v, sparse %v", params, policy, name, denseErr, altErr)
+			}
+			if denseErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(denseRes, altRes) {
+				t.Fatalf("%v/%v %s: Result mismatch:\ndense  %+v\nsparse %+v", params, policy, name, denseRes, altRes)
+			}
+			if !reflect.DeepEqual(denseTrace, altTrace) {
+				t.Fatalf("%v/%v %s: trace mismatch (%d vs %d events)", params, policy, name, len(denseTrace), len(altTrace))
+			}
+			if !reflect.DeepEqual(denseMetrics, altMetrics) {
+				t.Fatalf("%v/%v %s: audit metrics mismatch:\ndense  %+v\nsparse %+v", params, policy, name, denseMetrics, altMetrics)
+			}
+		}
+	}
+}
+
+// TestScriptEquivalence is the tentpole's correctness contract at the
+// issue's pinned sizes: the lazy scripted engine must be byte-identical
+// to the dense coroutine path at p ∈ {16, 128, 1024}, sequentially and
+// sharded.
+func TestScriptEquivalence(t *testing.T) {
+	paramsFor := func(p int) []Params {
+		return []Params{
+			{P: p, L: 32, O: 2, G: 4}, // the E2 machine
+			{P: p, L: 4, O: 1, G: 4},  // G == L: capacity 1 (E3's tight corner)
+		}
+	}
+	for _, p := range []int{16, 128, 1024} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			shards := []int{1, 2, 8}
+			for _, params := range paramsFor(p) {
+				checkScriptEquivalence(t, params, func() Script { return newRingScript(p, 3) }, shards)
+				checkScriptEquivalence(t, params, func() Script { return newBcastScript(p) }, shards)
+				checkScriptEquivalence(t, params, func() Script { return newPrefixScript(p) }, shards)
+			}
+			// The halt-flood stalls heavily; one param set keeps it fast.
+			checkScriptEquivalence(t, Params{P: p, L: 8, O: 1, G: 2},
+				func() Script { return newHaltFloodScript(p, 3) }, shards)
+		})
+	}
+}
+
+// TestScriptRecycledBufferDepth pins the doneBufLen path directly:
+// messages delivered to a halted, recycled processor must still drive
+// MaxBufferDepth exactly as the dense engine's ever-growing buffer
+// does.
+func TestScriptRecycledBufferDepth(t *testing.T) {
+	params := Params{P: 5, L: 8, O: 1, G: 2}
+	dense, err := NewMachine(params).Run(ScriptAsProgram(newHaltFloodScript(5, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewMachine(params).RunScript(newHaltFloodScript(5, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dense, sparse) {
+		t.Fatalf("Result mismatch:\ndense  %+v\nsparse %+v", dense, sparse)
+	}
+	if sparse.MaxBufferDepth != 16 {
+		t.Fatalf("MaxBufferDepth = %d, want 16 (4 senders x 4 messages on the halted proc)", sparse.MaxBufferDepth)
+	}
+}
+
+// violationScript breaks the passivity contract in a configurable way.
+type violationScript struct {
+	p    int
+	kind ScriptKind // the illegal op the passive processor leads with
+	st   []bool
+}
+
+func (s *violationScript) Active(id int) bool { return id == 0 }
+
+func (s *violationScript) Next(id int, prev ScriptResult) ScriptOp {
+	if id == 0 {
+		if !s.st[0] {
+			s.st[0] = true
+			return ScriptOp{Kind: ScriptSend, Dst: 1, Tag: 1, Payload: 1, Aux: 1}
+		}
+		return ScriptOp{Kind: ScriptHalt}
+	}
+	if !s.st[id] {
+		s.st[id] = true
+		return ScriptOp{Kind: s.kind, Dst: (id + 1) % s.p, N: 1}
+	}
+	if s.kind == ScriptTryRecv || s.kind == ScriptBuffered {
+		// Reachable only under the dense oracle, which runs the poll.
+		return ScriptOp{Kind: ScriptHalt}
+	}
+	return ScriptOp{Kind: ScriptRecv}
+}
+
+// TestScriptPassivityViolation: a passive processor whose pre-Recv
+// prefix sends or polls must fail the run with a contract error rather
+// than silently diverge from the dense engine.
+func TestScriptPassivityViolation(t *testing.T) {
+	cases := []struct {
+		kind ScriptKind
+		want string
+	}{
+		{ScriptSend, "declared passive performed a non-local operation"},
+		{ScriptTryRecv, "performed TryRecv before its first Recv"},
+		{ScriptBuffered, "performed Buffered before its first Recv"},
+	}
+	for _, c := range cases {
+		s := &violationScript{p: 4, kind: c.kind, st: make([]bool, 4)}
+		_, err := NewMachine(Params{P: 4, L: 8, O: 1, G: 2}).RunScript(s)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("kind %d: error %v, want contains %q", c.kind, err, c.want)
+		}
+	}
+}
+
+// TestScriptDeadlockMatchesDense: a passive processor that is never
+// messaged parks on Recv at finalization, and the deadlock report must
+// name the same processors as the dense engine's.
+func TestScriptDeadlockMatchesDense(t *testing.T) {
+	mk := func() Script {
+		s := newPrefixScript(6)
+		// Overwrite: nobody sends, so every passive processor deadlocks.
+		return &starvedScript{prefixScript: s}
+	}
+	params := Params{P: 6, L: 8, O: 1, G: 2}
+	_, denseErr := NewMachine(params).Run(ScriptAsProgram(mk()))
+	_, sparseErr := NewMachine(params).RunScript(mk())
+	if denseErr == nil || sparseErr == nil {
+		t.Fatalf("expected deadlock from both engines, got dense %v, sparse %v", denseErr, sparseErr)
+	}
+	if denseErr.Error() != sparseErr.Error() {
+		t.Fatalf("deadlock reports differ:\ndense  %v\nsparse %v", denseErr, sparseErr)
+	}
+}
+
+// starvedScript is prefixScript with the active senders halting
+// immediately, starving the passive receivers.
+type starvedScript struct{ *prefixScript }
+
+func (s *starvedScript) Next(id int, prev ScriptResult) ScriptOp {
+	if id%2 == 0 {
+		return ScriptOp{Kind: ScriptHalt}
+	}
+	return s.prefixScript.Next(id, prev)
+}
+
+// passiveProgram is the coroutine-form analogue of prefixScript, for
+// WithPassiveStart coverage.
+func passiveProgram(pr Proc) {
+	id := pr.ID()
+	if id%2 == 0 {
+		pr.Send((id+1)%pr.P(), 4, int64(id), 7)
+		return
+	}
+	pr.Compute(int64(3 + id%5))
+	pr.WaitUntil(pr.Now() + 2)
+	pr.Recv()
+}
+
+// TestWithPassiveStartEquivalence: the coroutine form with lazily
+// started passive processors must match the eager dense run, including
+// under shards and with the slow path (where the option is ignored).
+func TestWithPassiveStartEquivalence(t *testing.T) {
+	passive := func(id int) bool { return id%2 == 1 }
+	for _, p := range []int{4, 16, 128} {
+		params := Params{P: p, L: 32, O: 2, G: 4}
+		res, trace, metrics, err := runOnce(t, params, passiveProgram)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, extra := range [][]Option{
+			{WithPassiveStart(passive)},
+			{WithPassiveStart(passive), WithShards(4)},
+			{WithPassiveStart(passive), WithSlowPath()},
+		} {
+			altRes, altTrace, altMetrics, altErr := runOnce(t, params, passiveProgram, extra...)
+			if altErr != nil {
+				t.Fatal(altErr)
+			}
+			if !reflect.DeepEqual(res, altRes) {
+				t.Fatalf("p=%d: Result mismatch:\neager %+v\nlazy  %+v", p, res, altRes)
+			}
+			if !reflect.DeepEqual(trace, altTrace) {
+				t.Fatalf("p=%d: trace mismatch (%d vs %d events)", p, len(trace), len(altTrace))
+			}
+			if !reflect.DeepEqual(metrics, altMetrics) {
+				t.Fatalf("p=%d: metrics mismatch", p)
+			}
+		}
+	}
+}
+
+// TestWithPassiveStartViolation: a coroutine-form passive processor
+// that polls before its first Recv must fail, not diverge.
+func TestWithPassiveStartViolation(t *testing.T) {
+	prog := func(pr Proc) {
+		if pr.ID() == 1 {
+			pr.TryRecv()
+			return
+		}
+	}
+	m := NewMachine(Params{P: 2, L: 8, O: 1, G: 2}, WithPassiveStart(func(id int) bool { return id == 1 }))
+	_, err := m.Run(prog)
+	if err == nil || !strings.Contains(err.Error(), "before its first Recv") {
+		t.Fatalf("error %v, want passivity violation", err)
+	}
+}
+
+// TestRunScriptReuse: repeated RunScript calls on one machine recycle
+// the processor pool across runs without cross-run contamination.
+func TestRunScriptReuse(t *testing.T) {
+	m := NewMachine(Params{P: 64, L: 32, O: 2, G: 4})
+	var first Result
+	for i := 0; i < 3; i++ {
+		res, err := m.RunScript(newBcastScript(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res
+		} else if !reflect.DeepEqual(first, res) {
+			t.Fatalf("run %d diverged from run 0:\nfirst %+v\n got  %+v", i, first, res)
+		}
+	}
+	// Alternate forms on the same machine: the pool must serve both.
+	progRes, err := m.Run(ScriptAsProgram(newBcastScript(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, progRes) {
+		t.Fatalf("Program form on reused machine diverged:\nscript  %+v\nprogram %+v", first, progRes)
+	}
+}
+
+// decodeFuzzScript is decodeFuzzProgram's Script twin: the same byte
+// decoding, but driven as an engine-side state machine. Processors
+// whose script is empty lead with Recv (or halt), which makes them
+// contract-compliant passives — the fuzzer explores lazy instantiation
+// and template finalization for free.
+func decodeFuzzScript(data []byte) (func() Script, int) {
+	if len(data) < 2 {
+		return nil, 0
+	}
+	p := 2 + int(data[0])%3
+	data = data[1:]
+	scripts := make([][]fuzzOp, p)
+	inDeg := make([]int, p)
+	proc := 0
+	for len(data) >= 3 {
+		op := fuzzOp{kind: data[0] % 5, a: int64(data[1]), b: int64(data[2])}
+		if len(scripts[proc]) < 24 {
+			if op.kind == 2 {
+				op.dst = (proc + 1 + int(data[1])%(p-1)) % p
+				inDeg[op.dst]++
+			}
+			scripts[proc] = append(scripts[proc], op)
+		}
+		data = data[3:]
+		proc = (proc + 1) % p
+	}
+	return func() Script {
+		return &fuzzScript{scripts: scripts, inDeg: inDeg, st: make([]fuzzScriptState, p)}
+	}, p
+}
+
+type fuzzScriptState struct {
+	pc     int
+	got    int
+	resume uint8 // 0 none, 1 tryrecv, 2 buffered, 3 drain recv
+}
+
+type fuzzScript struct {
+	scripts [][]fuzzOp
+	inDeg   []int
+	st      []fuzzScriptState
+}
+
+func (s *fuzzScript) Active(id int) bool { return len(s.scripts[id]) > 0 }
+
+func (s *fuzzScript) Next(id int, prev ScriptResult) ScriptOp {
+	st := &s.st[id]
+	switch st.resume {
+	case 1:
+		st.resume = 0
+		st.pc++
+		if prev.OK {
+			st.got++
+			return ScriptOp{Kind: ScriptCompute, N: 1 + prev.Msg.Payload%5}
+		}
+	case 2:
+		st.resume = 0
+		st.pc++
+		return ScriptOp{Kind: ScriptCompute, N: prev.N%3 + 1}
+	case 3:
+		st.resume = 0
+		st.got++
+		return ScriptOp{Kind: ScriptCompute, N: 1 + prev.Msg.Payload%7}
+	}
+	ops := s.scripts[id]
+	if st.pc < len(ops) {
+		op := ops[st.pc]
+		switch op.kind {
+		case 0:
+			st.pc++
+			return ScriptOp{Kind: ScriptCompute, N: 1 + op.a%8}
+		case 1:
+			st.pc++
+			return ScriptOp{Kind: ScriptWait, N: prev.Now + op.a%16}
+		case 2:
+			st.pc++
+			return ScriptOp{Kind: ScriptSend, Dst: op.dst, Tag: int32(op.a % 4), Payload: op.b, Aux: op.a}
+		case 3:
+			st.resume = 1
+			return ScriptOp{Kind: ScriptTryRecv}
+		default:
+			st.resume = 2
+			return ScriptOp{Kind: ScriptBuffered}
+		}
+	}
+	if st.got < s.inDeg[id] {
+		st.resume = 3
+		return ScriptOp{Kind: ScriptRecv}
+	}
+	return ScriptOp{Kind: ScriptHalt}
+}
+
+// checkScriptFuzzEquivalence runs a decoded fuzz script on the sparse
+// sequential engine, the sparse sharded engine, and the dense coroutine
+// oracle across policies and parameter corners.
+func checkScriptFuzzEquivalence(t *testing.T, data []byte) {
+	t.Helper()
+	mk, p := decodeFuzzScript(data)
+	if mk == nil {
+		return
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	seed := h.Sum64() | 1
+	shards := 2 + int(seed%uint64(p))
+	for _, params := range []Params{
+		{P: p, L: 8, O: 1, G: 2},
+		{P: p, L: 2, O: 1, G: 2},
+	} {
+		for _, policy := range []DeliveryPolicy{DeliverMaxLatency, DeliverMinLatency, DeliverRandom} {
+			opts := []Option{WithDeliveryPolicy(policy), WithSeed(seed)}
+			if policy == DeliverRandom {
+				opts = append(opts, WithAcceptOrder(AcceptRandom))
+			}
+			denseRes, denseTrace, denseMetrics, denseErr := runOnce(t, params, ScriptAsProgram(mk()), opts...)
+			for _, alt := range []struct {
+				name string
+				opts []Option
+			}{
+				{"sparse", opts},
+				{"sparse-sharded", append(append([]Option{}, opts...), WithShards(shards))},
+			} {
+				altRes, altTrace, altMetrics, altErr := runScriptOnce(t, params, mk, alt.opts...)
+				if (denseErr == nil) != (altErr == nil) ||
+					(denseErr != nil && denseErr.Error() != altErr.Error()) {
+					t.Fatalf("%v/%v %s: error mismatch: dense %v, %s %v", params, policy, alt.name, denseErr, alt.name, altErr)
+				}
+				if denseErr != nil {
+					continue
+				}
+				if !reflect.DeepEqual(denseRes, altRes) {
+					t.Fatalf("%v/%v %s: Result mismatch:\ndense %+v\n%s %+v", params, policy, alt.name, denseRes, alt.name, altRes)
+				}
+				if !reflect.DeepEqual(denseTrace, altTrace) {
+					t.Fatalf("%v/%v %s: trace mismatch (%d vs %d events)", params, policy, alt.name, len(denseTrace), len(altTrace))
+				}
+				if !reflect.DeepEqual(denseMetrics, altMetrics) {
+					t.Fatalf("%v/%v %s: audit metrics mismatch", params, policy, alt.name)
+				}
+			}
+		}
+	}
+}
+
+// FuzzScriptEquivalence differentially fuzzes the sparse scripted
+// engine against the dense coroutine oracle. The seed corpus leans on
+// short inputs, which leave trailing processors passive (empty
+// scripts), and send-heavy ones, which exercise delivery-time
+// instantiation and post-halt delivery.
+func FuzzScriptEquivalence(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 2, 0, 0, 2, 1, 3})          // one sender, passive receivers
+	f.Add([]byte{2, 2, 3, 1})                   // 4 procs, 1 op: three passive templates
+	f.Add([]byte{0, 2, 9, 9, 2, 4, 4, 2, 1, 1}) // send barrage at passives
+	f.Add([]byte{1, 0, 5, 5, 3, 1, 1, 4, 2, 2}) // polls mixed with a passive drain
+	dense := make([]byte, 64)
+	for i := range dense {
+		dense[i] = byte(i*7 + 2)
+	}
+	f.Add(dense)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		checkScriptFuzzEquivalence(t, data)
+	})
+}
+
+// TestScriptEquivalenceCorpus replays structured fuzz cases on plain
+// `go test`, fuzzing available or not.
+func TestScriptEquivalenceCorpus(t *testing.T) {
+	cases := [][]byte{
+		{1, 2, 0, 0, 2, 1, 3},
+		{2, 2, 3, 1},
+		{0, 2, 1, 1, 2, 3, 3, 0, 5, 5, 4, 2, 2, 2, 9, 9},
+		{1, 7, 7, 7, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2},
+		{2, 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4, 6},
+	}
+	for _, data := range cases {
+		checkScriptFuzzEquivalence(t, data)
+	}
+}

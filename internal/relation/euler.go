@@ -1,0 +1,238 @@
+package relation
+
+// DecomposeEuler splits the relation into at most nextPow2(H())
+// disjoint partial permutations whose union is the original pair
+// multiset, by recursive Euler-circuit halving instead of König
+// alternating-path colouring.
+//
+// Decompose achieves exactly h classes but pays for it: its recolouring
+// walks alternating paths (superlinear in the worst case) over dense
+// per-node colour tables. DecomposeEuler pads the bipartite multigraph
+// to the next power-of-two regularity and repeatedly splits every block
+// into two half-regular blocks along Euler circuits — each level is one
+// linear pass, colouring blocks incrementally, for O(E log h) time and
+// O(E) memory with small constants. The price is up to 2h-1 classes in
+// the worst case (classes holding only padding edges are dropped), so
+// pipelined routing costs at most twice the optimal G·(h-1) term —
+// the same asymptotics on every slowdown curve.
+func DecomposeEuler(r Relation) [][]Pair {
+	classOf, classes := DecomposeEulerIndexed(r)
+	if classes == 0 {
+		return nil
+	}
+	out := make([][]Pair, classes)
+	for i, c := range classOf {
+		out[c] = append(out[c], r.Pairs[i])
+	}
+	return out
+}
+
+// DecomposeEulerIndexed performs the same decomposition as
+// DecomposeEuler but returns, for every pair index in r.Pairs, the
+// colour class it belongs to, together with the class count
+// (H() <= classes <= nextPow2(H())).
+func DecomposeEulerIndexed(r Relation) (classOf []int, classes int) {
+	h := r.H()
+	if h == 0 {
+		return nil, 0
+	}
+	reg := 1
+	for reg < h {
+		reg *= 2
+	}
+	p := r.P
+	nReal := len(r.Pairs)
+	nEdges := p * reg
+
+	// Pad to a reg-regular bipartite multigraph with the same greedy
+	// two-pointer pairing Decompose uses; real edges come first so edge
+	// ids below nReal index r.Pairs directly.
+	esrc := make([]int32, nEdges)
+	edst := make([]int32, nEdges)
+	for i, pr := range r.Pairs {
+		esrc[i] = int32(pr.Src)
+		edst[i] = int32(pr.Dst)
+	}
+	fanOut, fanIn := r.Degrees()
+	n := nReal
+	u, v := 0, 0
+	for {
+		for u < p && fanOut[u] >= reg {
+			u++
+		}
+		if u >= p {
+			break
+		}
+		for v < p && fanIn[v] >= reg {
+			v++
+		}
+		esrc[n] = int32(u)
+		edst[n] = int32(v)
+		n++
+		fanOut[u]++
+		fanIn[v]++
+	}
+	if n != nEdges {
+		panic("relation: euler padding produced the wrong edge count (bug)")
+	}
+
+	d := &eulerSplitter{
+		p:     p,
+		esrc:  esrc,
+		edst:  edst,
+		color: make([]int32, nEdges),
+		used:  make([]bool, nEdges),
+		half:  make([]bool, nEdges),
+		adj:   make([]int32, 2*nEdges),
+		cur:   make([]int32, 2*p),
+		buf:   make([]int32, nEdges),
+	}
+	order := make([]int32, nEdges)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	d.split(order, reg)
+
+	// Drop classes that hold only padding edges and compact the rest.
+	remap := make([]int32, reg)
+	for i := range remap {
+		remap[i] = -1
+	}
+	classOf = make([]int, nReal)
+	for i := 0; i < nReal; i++ {
+		c := d.color[i]
+		if remap[c] == -1 {
+			remap[c] = int32(classes)
+			classes++
+		}
+		classOf[i] = int(remap[c])
+	}
+	return classOf, classes
+}
+
+// eulerSplitter carries the scratch of the recursive halving; all
+// slices are allocated once for the whole decomposition.
+type eulerSplitter struct {
+	p          int
+	esrc, edst []int32
+	color      []int32
+	used       []bool
+	half       []bool  // split side assigned along the current circuits
+	adj        []int32 // per-block incidence lists (both endpoints)
+	cur        []int32 // per-node cursor into adj
+	buf        []int32 // partition scratch for one block
+	nextColor  int32
+	stackNode  []int32
+	stackEdge  []int32
+	circuit    []int32
+}
+
+// split colours the reg-regular block held in eids. reg == 1 blocks are
+// perfect matchings and become one colour class; otherwise the block's
+// Euler circuits are walked and edges assigned alternately to two
+// reg/2-regular halves, which recurse.
+func (d *eulerSplitter) split(eids []int32, reg int) {
+	if reg == 1 {
+		c := d.nextColor
+		d.nextColor++
+		for _, e := range eids {
+			d.color[e] = c
+		}
+		return
+	}
+
+	// Build incidence lists. Every node of a reg-regular block has
+	// exactly reg incident edges, so left node u owns adj slots
+	// [u*reg, (u+1)*reg) and right node v owns [(p+v)*reg, ...).
+	p := d.p
+	for i := 0; i < 2*p; i++ {
+		d.cur[i] = int32(i * reg)
+	}
+	for _, e := range eids {
+		d.adj[d.cur[d.esrc[e]]] = e
+		d.cur[d.esrc[e]]++
+		d.adj[d.cur[int32(p)+d.edst[e]]] = e
+		d.cur[int32(p)+d.edst[e]]++
+	}
+	for i := 0; i < 2*p; i++ {
+		d.cur[i] = int32(i * reg)
+	}
+
+	// Hierholzer over every component; the popped edge order is an
+	// Euler circuit (reversed), and alternately 2-colouring a closed
+	// circuit of a bipartite multigraph splits every node's degree
+	// exactly in half (circuits have even length, and each interior
+	// visit consumes two consecutive edges).
+	for s := 0; s < 2*p; s++ {
+		if d.nextUnused(s, reg) == -1 {
+			continue
+		}
+		d.stackNode = append(d.stackNode[:0], int32(s))
+		d.stackEdge = append(d.stackEdge[:0], -1)
+		d.circuit = d.circuit[:0]
+		for len(d.stackNode) > 0 {
+			v := int(d.stackNode[len(d.stackNode)-1])
+			if e := d.nextUnused(v, reg); e >= 0 {
+				d.used[e] = true
+				var other int32
+				if v < p {
+					other = int32(p) + d.edst[e]
+				} else {
+					other = d.esrc[e]
+				}
+				d.stackNode = append(d.stackNode, other)
+				d.stackEdge = append(d.stackEdge, e)
+			} else {
+				via := d.stackEdge[len(d.stackEdge)-1]
+				d.stackNode = d.stackNode[:len(d.stackNode)-1]
+				d.stackEdge = d.stackEdge[:len(d.stackEdge)-1]
+				if via >= 0 {
+					d.circuit = append(d.circuit, via)
+				}
+			}
+		}
+		if len(d.circuit)%2 != 0 {
+			panic("relation: odd euler circuit in a bipartite multigraph (bug)")
+		}
+		for i, e := range d.circuit {
+			d.half[e] = i%2 == 1
+		}
+	}
+
+	// Partition the block into its halves (stably, via the scratch
+	// buffer) and reset the used marks for the recursion.
+	nA := 0
+	for _, e := range eids {
+		d.used[e] = false
+		if !d.half[e] {
+			nA++
+		}
+	}
+	a, b := 0, nA
+	for _, e := range eids {
+		if !d.half[e] {
+			d.buf[a] = e
+			a++
+		} else {
+			d.buf[b] = e
+			b++
+		}
+	}
+	copy(eids, d.buf[:len(eids)])
+	d.split(eids[:nA], reg/2)
+	d.split(eids[nA:], reg/2)
+}
+
+// nextUnused returns an unused edge incident to node v, advancing v's
+// cursor past used ones, or -1 when v is exhausted.
+func (d *eulerSplitter) nextUnused(v, reg int) int32 {
+	end := int32((v + 1) * reg)
+	for d.cur[v] < end {
+		e := d.adj[d.cur[v]]
+		if !d.used[e] {
+			return e
+		}
+		d.cur[v]++
+	}
+	return -1
+}

@@ -1,0 +1,169 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// nextPow2 mirrors the class bound documented on DecomposeEuler.
+func nextPow2(h int) int {
+	n := 1
+	for n < h {
+		n *= 2
+	}
+	return n
+}
+
+// checkEulerDecomposition verifies validity (each class a partial
+// permutation, union equal to the original multiset) and the class
+// bound H() <= classes <= nextPow2(H()).
+func checkEulerDecomposition(t *testing.T, r Relation) {
+	t.Helper()
+	classes := DecomposeEuler(r)
+	h := r.H()
+	if len(classes) < h || len(classes) > nextPow2(h) {
+		t.Fatalf("got %d classes, want between H=%d and %d", len(classes), h, nextPow2(h))
+	}
+	counts := map[Pair]int{}
+	for _, pr := range r.Pairs {
+		counts[pr]++
+	}
+	for ci, class := range classes {
+		if len(class) == 0 {
+			t.Fatalf("class %d is empty (compaction bug)", ci)
+		}
+		srcs := map[int]bool{}
+		dsts := map[int]bool{}
+		for _, pr := range class {
+			if srcs[pr.Src] {
+				t.Fatalf("class %d repeats source %d", ci, pr.Src)
+			}
+			if dsts[pr.Dst] {
+				t.Fatalf("class %d repeats destination %d", ci, pr.Dst)
+			}
+			srcs[pr.Src] = true
+			dsts[pr.Dst] = true
+			counts[pr]--
+			if counts[pr] < 0 {
+				t.Fatalf("pair %+v appears more often in classes than in relation", pr)
+			}
+		}
+	}
+	for pr, c := range counts {
+		if c != 0 {
+			t.Fatalf("pair %+v missing from decomposition (%d left)", pr, c)
+		}
+	}
+}
+
+func TestDecomposeEulerRegular(t *testing.T) {
+	rng := stats.NewRNG(41)
+	for _, h := range []int{1, 2, 3, 5, 8} {
+		checkEulerDecomposition(t, RandomRegular(rng, 9, h))
+	}
+}
+
+func TestDecomposeEulerIrregular(t *testing.T) {
+	rng := stats.NewRNG(42)
+	for _, h := range []int{1, 2, 4, 7} {
+		checkEulerDecomposition(t, RandomIrregular(rng, 11, h))
+	}
+}
+
+func TestDecomposeEulerShapes(t *testing.T) {
+	checkEulerDecomposition(t, HotSpot(16, 10, 2))
+	checkEulerDecomposition(t, AllToAll(8))
+	checkEulerDecomposition(t, Transpose(16))
+	checkEulerDecomposition(t, CyclicShift(9, 4))
+	checkEulerDecomposition(t, Relation{P: 4, Pairs: []Pair{{2, 3}}})
+	checkEulerDecomposition(t, Relation{P: 2, Pairs: []Pair{{0, 1}, {0, 1}, {0, 1}}})
+	if got := DecomposeEuler(Relation{P: 3}); got != nil {
+		t.Fatalf("DecomposeEuler(empty) = %v, want nil", got)
+	}
+}
+
+// TestDecomposeEulerDeterministic pins run-to-run stability: routers
+// schedule by class index, so the colouring must be a pure function of
+// the relation.
+func TestDecomposeEulerDeterministic(t *testing.T) {
+	r := RandomIrregular(stats.NewRNG(43), 20, 5)
+	c1, n1 := DecomposeEulerIndexed(r)
+	c2, n2 := DecomposeEulerIndexed(r)
+	if n1 != n2 {
+		t.Fatalf("class counts differ: %d vs %d", n1, n2)
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("classOf[%d] differs: %d vs %d", i, c1[i], c2[i])
+		}
+	}
+}
+
+// TestDecomposeEulerVsKoenig runs both decompositions over random
+// relations: König is exact (h classes), Euler trades at most a 2x
+// class count for linear-time incremental colouring; both must be
+// valid partitions of the same multiset.
+func TestDecomposeEulerVsKoenig(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	check := func(seed uint32, pRaw, hRaw, mode uint8) bool {
+		rng := stats.NewRNG(uint64(seed))
+		p := int(pRaw%14) + 2
+		h := int(hRaw%9) + 1
+		var r Relation
+		switch mode % 3 {
+		case 0:
+			r = RandomRegular(rng, p, h)
+		case 1:
+			r = RandomIrregular(rng, p, h)
+		case 2:
+			r = HotSpot(p, h, int(seed)%p)
+		}
+		koenig := Decompose(r)
+		euler := DecomposeEuler(r)
+		if len(koenig) != r.H() {
+			return false
+		}
+		if len(euler) < len(koenig) || len(euler) > nextPow2(r.H()) {
+			return false
+		}
+		total := 0
+		for _, class := range euler {
+			srcs := map[int]bool{}
+			dsts := map[int]bool{}
+			for _, pr := range class {
+				if srcs[pr.Src] || dsts[pr.Dst] {
+					return false
+				}
+				srcs[pr.Src] = true
+				dsts[pr.Dst] = true
+				total++
+			}
+		}
+		return total == len(r.Pairs)
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecomposeEulerModerateScale exercises the incremental colouring
+// at a size where the padded König tables would already be heavy, and
+// checks regularity-preservation end to end.
+func TestDecomposeEulerModerateScale(t *testing.T) {
+	r := RandomRegular(stats.NewRNG(44), 2048, 6)
+	classOf, classes := DecomposeEulerIndexed(r)
+	if classes < 6 || classes > 8 {
+		t.Fatalf("classes = %d, want in [6,8]", classes)
+	}
+	perClass := make([]int, classes)
+	for _, c := range classOf {
+		perClass[c]++
+	}
+	for c, n := range perClass {
+		if n == 0 {
+			t.Fatalf("class %d empty", c)
+		}
+	}
+}

@@ -83,6 +83,84 @@ func (r Relation) MaxOut() int {
 	return m
 }
 
+// DegreesInto is Degrees with caller-owned backing: it fills (growing
+// only when capacity is short) and returns the two degree slices, so a
+// caller measuring many relations of the same size allocates once.
+func (r Relation) DegreesInto(fanOut, fanIn []int) ([]int, []int) {
+	fanOut = growZeroed(fanOut, r.P)
+	fanIn = growZeroed(fanIn, r.P)
+	for _, pr := range r.Pairs {
+		fanOut[pr.Src]++
+		fanIn[pr.Dst]++
+	}
+	return fanOut, fanIn
+}
+
+// growZeroed returns a zeroed int slice of length n, reusing s's
+// backing when it is large enough.
+func growZeroed(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// Grouping is the reusable form of BySource: Group indexes a relation's
+// pairs by source into backing arrays owned by the Grouping, so hot
+// callers regrouping many relations (the bench harness, the stalling
+// auditor's extension replay) stop paying O(p) allocations per call.
+// The grouped views stay valid until the next Group call.
+type Grouping struct {
+	start []int32
+	pairs []Pair
+}
+
+// Group rebuilds the index for r. It makes two passes (count, place)
+// and allocates only when r outgrows the previous relation.
+func (g *Grouping) Group(r Relation) {
+	if cap(g.start) < r.P+1 {
+		g.start = make([]int32, r.P+1)
+	}
+	g.start = g.start[:r.P+1]
+	for i := range g.start {
+		g.start[i] = 0
+	}
+	for _, pr := range r.Pairs {
+		g.start[pr.Src+1]++
+	}
+	for i := 0; i < r.P; i++ {
+		g.start[i+1] += g.start[i]
+	}
+	if cap(g.pairs) < len(r.Pairs) {
+		g.pairs = make([]Pair, len(r.Pairs))
+	}
+	g.pairs = g.pairs[:len(r.Pairs)]
+	// cursor through each source's slot range; start is restored by a
+	// single backward shift afterwards.
+	for _, pr := range r.Pairs {
+		g.pairs[g.start[pr.Src]] = pr
+		g.start[pr.Src]++
+	}
+	copy(g.start[1:], g.start[:r.P])
+	g.start[0] = 0
+}
+
+// Source returns the pairs whose source is processor i, in the order
+// they appear in the grouped relation. The slice aliases the Grouping's
+// backing; callers must not hold it across Group calls.
+func (g *Grouping) Source(i int) []Pair {
+	return g.pairs[g.start[i]:g.start[i+1]:g.start[i+1]]
+}
+
+// FanOut returns processor i's out-degree in O(1).
+func (g *Grouping) FanOut(i int) int {
+	return int(g.start[i+1] - g.start[i])
+}
+
 // BySource groups the pairs by source processor. The groups share one
 // backing array, sized by a counting pass, so the call allocates O(1)
 // slices however large the relation.
@@ -106,7 +184,7 @@ func (r Relation) BySource() [][]Pair {
 // Permutation returns a relation in which processor i sends one
 // message to perm[i].
 func Permutation(perm []int) Relation {
-	r := Relation{P: len(perm)}
+	r := Relation{P: len(perm), Pairs: make([]Pair, 0, len(perm))}
 	for i, d := range perm {
 		r.Pairs = append(r.Pairs, Pair{Src: i, Dst: d})
 	}
@@ -137,6 +215,10 @@ func RandomRegular(rng *stats.RNG, p, h int) Relation {
 // fluctuate around h, so the relation's degree H() is typically
 // somewhat above h. This is the "uniform traffic" workload used to
 // estimate network bandwidth parameters.
+//
+// The Pairs backing is sized by the exact pair count the generator
+// emits (p sources times h messages each), so no slack capacity
+// survives the call however sparse the relation.
 func RandomIrregular(rng *stats.RNG, p, h int) Relation {
 	r := Relation{P: p, Pairs: make([]Pair, 0, p*h)}
 	for i := 0; i < p; i++ {
@@ -149,7 +231,7 @@ func RandomIrregular(rng *stats.RNG, p, h int) Relation {
 
 // CyclicShift returns the 1-relation i -> (i+k) mod p.
 func CyclicShift(p, k int) Relation {
-	r := Relation{P: p}
+	r := Relation{P: p, Pairs: make([]Pair, 0, p)}
 	for i := 0; i < p; i++ {
 		r.Pairs = append(r.Pairs, Pair{Src: i, Dst: ((i+k)%p + p) % p})
 	}
@@ -163,7 +245,7 @@ func HotSpot(p, h, target int) Relation {
 	if h >= p {
 		h = p - 1
 	}
-	r := Relation{P: p}
+	r := Relation{P: p, Pairs: make([]Pair, 0, h)}
 	for k := 1; k <= h; k++ {
 		r.Pairs = append(r.Pairs, Pair{Src: (target + k) % p, Dst: target})
 	}
@@ -173,7 +255,7 @@ func HotSpot(p, h, target int) Relation {
 // AllToAll returns the (p-1)-relation in which every processor sends
 // one message to every other processor.
 func AllToAll(p int) Relation {
-	r := Relation{P: p}
+	r := Relation{P: p, Pairs: make([]Pair, 0, p*(p-1))}
 	for i := 0; i < p; i++ {
 		for j := 0; j < p; j++ {
 			if i != j {
@@ -195,7 +277,7 @@ func Transpose(p int) Relation {
 	if side*side != p {
 		panic(fmt.Sprintf("relation: Transpose needs a square processor count, got %d", p))
 	}
-	r := Relation{P: p}
+	r := Relation{P: p, Pairs: make([]Pair, 0, side*(side-1))}
 	for i := 0; i < side; i++ {
 		for j := 0; j < side; j++ {
 			if i != j {
