@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test lint race fuzz golden-parallel audit audit-report bench bench-smoke bench-netsim bench-report bench-diff bench-scale bench-scale-report experiments examples cover clean
+.PHONY: all test lint race fuzz golden-parallel audit audit-report bench bench-smoke bench-netsim bench-report bench-diff bench-scale bench-scale-report serve-smoke serve-report experiments examples cover clean
 
 all: test
 
@@ -78,6 +78,20 @@ bench-scale:
 # rows into the checked-in BENCH_logp.json (see EXPERIMENTS.md).
 bench-scale-report:
 	$(GO) run ./cmd/bsplogp -scale -bench -benchout BENCH_logp.json
+
+# Smoke the service mode: the serve test suite under the race detector
+# (>= 8 concurrent clients, byte-identical bodies), then a small
+# in-process load run. Exits nonzero on any job failure or determinism
+# violation.
+serve-smoke:
+	$(GO) test -race ./internal/serve/
+	$(GO) run ./cmd/bsplogp -loadtest -quick -clients 4 -jobsper 2 -experiment E6 -serveout /tmp/SERVE_smoke.json
+
+# Regenerate the checked-in SERVE_logp.json (see EXPERIMENTS.md): the
+# default load shape, 8 clients x 4 jobs of E3 -quick against an
+# in-process server.
+serve-report:
+	$(GO) run ./cmd/bsplogp -loadtest -quick -serveout SERVE_logp.json
 
 # Regenerate the checked-in AUDIT_logp.json (see EXPERIMENTS.md).
 audit-report:

@@ -12,10 +12,18 @@
 //	bsplogp -bench [-experiment E3] [-quick] [-parallel 4] [-benchcount 5] [-benchout BENCH_logp.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	bsplogp -benchdiff old.json new.json [-threshold 0.2]
 //	bsplogp -audit [-experiment E3] [-quick] [-parallel 4] [-auditout AUDIT_logp.json] [-trace trace.jsonl]
+//	bsplogp -serve :8080 [-workers 4]
+//	bsplogp -loadtest [-addr http://host:8080] [-clients 8] [-jobsper 4] [-experiment E3] [-quick] [-serveout SERVE_logp.json]
 //
 // -parallel shards the LogP engines across worker goroutines; every
 // table, trace, and audit report stays byte-identical to the
 // sequential engine, so it is purely a wall-clock lever.
+//
+// -serve runs bsplogp as a persistent simulation server: a JSON job
+// API (POST /jobs, GET /jobs/{job}/result, ...) over a warm worker
+// pool; see internal/serve. -loadtest drives a server (an in-process
+// one when -addr is empty) with N concurrent clients × M jobs and
+// writes the p50/p99 job-latency report to SERVE_logp.json.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/logp"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -61,6 +70,13 @@ func run(args []string, out, errOut io.Writer) int {
 		doAudit    = fs.Bool("audit", false, "run experiments (all, or the one given by -experiment) under the streaming LogP invariant auditor; nonzero exit on any violation")
 		auditOut   = fs.String("auditout", "AUDIT_logp.json", "path of the JSON report written by -audit")
 		traceOut   = fs.String("trace", "", "with -audit: also write every audited event to this JSONL file")
+		serveAddr  = fs.String("serve", "", "run as a persistent simulation server on this address (e.g. :8080); drains gracefully on SIGINT/SIGTERM")
+		workers    = fs.Int("workers", 0, "with -serve or -loadtest: worker pool size (0 = GOMAXPROCS); each worker keeps a warm cache of simulators")
+		loadTest   = fs.Bool("loadtest", false, "drive a simulation server with concurrent clients and write a job-latency report")
+		loadAddr   = fs.String("addr", "", "with -loadtest: base URL of a running server (empty starts an in-process one)")
+		clients    = fs.Int("clients", 8, "with -loadtest: number of concurrent clients")
+		jobsPer    = fs.Int("jobsper", 4, "with -loadtest: jobs each client submits sequentially")
+		serveOut   = fs.String("serveout", "SERVE_logp.json", "path of the JSON report written by -loadtest")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -69,20 +85,76 @@ func run(args []string, out, errOut io.Writer) int {
 		return 2
 	}
 
-	// -auditout and -trace only mean something under -audit; silently
-	// ignoring them would discard output the user asked for.
-	if !*doAudit {
-		misused := false
-		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "auditout" || f.Name == "trace" {
-				fmt.Fprintf(errOut, "bsplogp: -%s has no effect without -audit\n", f.Name)
-				misused = true
-			}
-		})
-		if misused {
-			fs.Usage()
-			return 2
+	// Flags that only mean something under a mode flag are usage errors
+	// without it; silently ignoring them would discard output (or
+	// profiles, or thresholds) the user asked for.
+	needs := map[string]struct {
+		on   bool
+		mode string
+	}{
+		"auditout":   {*doAudit, "-audit"},
+		"trace":      {*doAudit, "-audit"},
+		"benchout":   {*doBench, "-bench"},
+		"benchcount": {*doBench, "-bench"},
+		"cpuprofile": {*doBench, "-bench"},
+		"memprofile": {*doBench, "-bench"},
+		"threshold":  {*benchDiff, "-benchdiff"},
+		"addr":       {*loadTest, "-loadtest"},
+		"clients":    {*loadTest, "-loadtest"},
+		"jobsper":    {*loadTest, "-loadtest"},
+		"serveout":   {*loadTest, "-loadtest"},
+		"workers":    {*serveAddr != "" || *loadTest, "-serve or -loadtest"},
+	}
+	misused := false
+	fs.Visit(func(f *flag.Flag) {
+		if dep, ok := needs[f.Name]; ok && !dep.on {
+			fmt.Fprintf(errOut, "bsplogp: -%s has no effect without %s\n", f.Name, dep.mode)
+			misused = true
 		}
+	})
+	if misused {
+		fs.Usage()
+		return 2
+	}
+
+	if *serveAddr != "" {
+		if err := serve.ListenAndServe(*serveAddr, *workers, 0, out); err != nil {
+			fmt.Fprintf(errOut, "bsplogp: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *loadTest {
+		rep, err := serve.RunLoad(serve.LoadOptions{
+			Addr:          *loadAddr,
+			Workers:       *workers,
+			Clients:       *clients,
+			JobsPerClient: *jobsPer,
+			Experiment:    *id,
+			Quick:         *quick,
+			Seed:          *seed,
+			Shards:        *parallel,
+		})
+		if err != nil {
+			fmt.Fprintf(errOut, "bsplogp: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(out, rep.Render())
+		if err := rep.WriteJSON(*serveOut); err != nil {
+			fmt.Fprintf(errOut, "bsplogp: writing report: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "report written to %s\n", *serveOut)
+		if rep.Failures > 0 {
+			fmt.Fprintf(errOut, "bsplogp: %d of %d jobs failed\n", rep.Failures, rep.TotalJobs)
+			return 1
+		}
+		if !rep.Deterministic {
+			fmt.Fprintln(errOut, "bsplogp: determinism violation: same-seed jobs returned differing bodies")
+			return 1
+		}
+		return 0
 	}
 
 	if *list {
@@ -197,6 +269,21 @@ func run(args []string, out, errOut io.Writer) int {
 		} else if *scale {
 			ids = scaleIDs()
 		}
+		// Every -bench run covers a subset of the registry (a single
+		// -experiment, the -scale suite, or the regular suite without
+		// the scale rows), so an existing report is always extended,
+		// never clobbered. Read it before the runs: a missing file is a
+		// fresh report, but a corrupt one is an error now rather than
+		// rows silently dropped after minutes of benchmarking.
+		base, baseErr := bench.ReadJSON(*benchOut)
+		if baseErr != nil {
+			if !errors.Is(baseErr, os.ErrNotExist) {
+				fmt.Fprintf(errOut, "bsplogp: existing report %s is unreadable: %v\n", *benchOut, baseErr)
+				fmt.Fprintln(errOut, "bsplogp: move it aside (or fix it) so benchmark rows are not silently discarded")
+				return 1
+			}
+			base = nil
+		}
 		if *cpuProfile != "" {
 			f, err := os.Create(*cpuProfile)
 			if err != nil {
@@ -233,12 +320,8 @@ func run(args []string, out, errOut io.Writer) int {
 			f.Close()
 		}
 		fmt.Fprintln(out, rep.Render())
-		// A -scale run extends an existing report instead of replacing
-		// it: the regular suite's rows survive, scale rows are updated.
-		if *scale {
-			if base, err := bench.ReadJSON(*benchOut); err == nil {
-				rep = bench.MergeReports(base, rep)
-			}
+		if base != nil {
+			rep = bench.MergeReports(base, rep)
 		}
 		if err := rep.WriteJSON(*benchOut); err != nil {
 			fmt.Fprintf(errOut, "bsplogp: writing report: %v\n", err)

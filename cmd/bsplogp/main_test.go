@@ -255,3 +255,150 @@ func TestCLIParallelMatchesSequentialOutput(t *testing.T) {
 		t.Fatalf("-parallel changed E3's table:\nsequential:\n%s\nparallel:\n%s", seq.String(), par.String())
 	}
 }
+
+func TestCLIBenchSubsetMergePreservesRows(t *testing.T) {
+	// A -bench run over a subset of the registry (here a single
+	// -experiment) must extend the existing report, not replace it:
+	// re-benchmarking E3 used to discard the E6 row wholesale.
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bench", "-quick", "-experiment", "E6", "-benchout", path}, &out, &errOut); code != 0 {
+		t.Fatalf("seeding run: exit %d: %s", code, errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-bench", "-quick", "-experiment", "E3", "-benchout", path}, &out, &errOut); code != 0 {
+		t.Fatalf("subset run: exit %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		TotalWallNanos int64 `json:"totalWallNanos"`
+		Results        []struct {
+			ID        string `json:"id"`
+			WallNanos int64  `json:"wallNanos"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("merged report is not valid JSON: %v\n%s", err, data)
+	}
+	ids := map[string]bool{}
+	var sum int64
+	for _, r := range rep.Results {
+		ids[r.ID] = true
+		sum += r.WallNanos
+	}
+	if !ids["E6"] || !ids["E3"] {
+		t.Fatalf("subset -bench run clobbered the report: rows %v, want E6 and E3", ids)
+	}
+	if rep.TotalWallNanos != sum {
+		t.Fatalf("totalWallNanos %d not recomputed over merged rows (sum %d)", rep.TotalWallNanos, sum)
+	}
+}
+
+func TestCLIBenchCorruptBaseReportFails(t *testing.T) {
+	// An unreadable existing -benchout must be a hard error before any
+	// benchmarking starts, not rows silently discarded after the run.
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bench", "-quick", "-experiment", "E6", "-benchout", path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "unreadable") {
+		t.Fatalf("stderr missing diagnosis: %s", errOut.String())
+	}
+	// The corrupt file must be left untouched for the user to inspect.
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "{not json" {
+		t.Fatalf("corrupt base was modified: %q, %v", data, err)
+	}
+}
+
+func TestCLIModeFlagMisuse(t *testing.T) {
+	// Flags that only mean something under a mode flag are usage errors
+	// (exit 2) without it, mirroring the -audit flag discipline.
+	cases := []struct {
+		args []string
+		diag string
+	}{
+		{[]string{"-benchout", "b.json", "-experiment", "E6", "-quick"}, "without -bench"},
+		{[]string{"-benchcount", "3", "-experiment", "E6", "-quick"}, "without -bench"},
+		{[]string{"-cpuprofile", "cpu.pprof", "-experiment", "E6", "-quick"}, "without -bench"},
+		{[]string{"-memprofile", "mem.pprof", "-experiment", "E6", "-quick"}, "without -bench"},
+		{[]string{"-threshold", "0.5", "-experiment", "E6", "-quick"}, "without -benchdiff"},
+		{[]string{"-threshold", "0.5", "-bench", "-experiment", "E6", "-quick"}, "without -benchdiff"},
+		{[]string{"-addr", "http://x", "-experiment", "E6", "-quick"}, "without -loadtest"},
+		{[]string{"-clients", "2", "-experiment", "E6", "-quick"}, "without -loadtest"},
+		{[]string{"-jobsper", "2", "-experiment", "E6", "-quick"}, "without -loadtest"},
+		{[]string{"-serveout", "s.json", "-experiment", "E6", "-quick"}, "without -loadtest"},
+		{[]string{"-workers", "2", "-experiment", "E6", "-quick"}, "without -serve or -loadtest"},
+	}
+	for _, tc := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(tc.args, &out, &errOut); code != 2 {
+			t.Fatalf("%v: exit %d, want 2: %s", tc.args, code, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), tc.diag) {
+			t.Fatalf("%v: stderr missing %q: %s", tc.args, tc.diag, errOut.String())
+		}
+	}
+	// The flags are legitimate under their mode; default values alone
+	// must never trip the check.
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bench", "-quick", "-experiment", "E6", "-benchout", path, "-benchcount", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("bench flags under -bench broken: exit %d: %s", code, errOut.String())
+	}
+}
+
+func TestCLILoadTestWritesReport(t *testing.T) {
+	// A small in-process load run: 2 clients x 2 jobs against E6. Must
+	// exit 0, print the SERVE table, and write a well-formed report.
+	path := filepath.Join(t.TempDir(), "serve.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-loadtest", "-clients", "2", "-jobsper", "2",
+		"-experiment", "E6", "-quick", "-workers", "2", "-serveout", path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "SERVE") || !strings.Contains(out.String(), "jobs/sec") {
+		t.Fatalf("summary table missing from output:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep struct {
+		Addr          string `json:"addr"`
+		TotalJobs     int    `json:"totalJobs"`
+		Failures      int    `json:"failures"`
+		Deterministic bool   `json:"deterministic"`
+		P50Nanos      int64  `json:"p50Nanos"`
+		P99Nanos      int64  `json:"p99Nanos"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Addr != "in-process" || rep.TotalJobs != 4 || rep.Failures != 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if !rep.Deterministic {
+		t.Fatal("same-seed jobs returned differing bodies")
+	}
+	if rep.P50Nanos <= 0 || rep.P99Nanos < rep.P50Nanos {
+		t.Fatalf("latency percentiles not populated: %+v", rep)
+	}
+}
+
+func TestCLIServeBadAddr(t *testing.T) {
+	// An unbindable -serve address must surface as exit 1, not a hang.
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-serve", "256.256.256.256:0"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1: %s", code, errOut.String())
+	}
+}

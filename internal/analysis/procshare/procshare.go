@@ -31,7 +31,7 @@ var Analyzer = &kit.Analyzer{
 		"per-proc slots indexed by the processor id",
 	Scope: []string{
 		"repro/internal/bench", "repro/internal/bsputil",
-		"repro/examples", "repro/cmd",
+		"repro/internal/serve", "repro/examples", "repro/cmd",
 	},
 	Run: run,
 }

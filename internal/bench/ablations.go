@@ -122,7 +122,7 @@ func A3BatchFactor(cfg Config) *Table {
 	h := pCount / 2
 	rng := stats.NewRNG(cfg.Seed)
 	rel := relation.RandomRegular(rng, pCount, h)
-	sim := &core.BSPOnLogP{LogP: lp, Router: core.RouterRandomized, Shards: cfg.Shards}
+	sim := cfg.sim(core.BSPOnLogP{LogP: lp, Router: core.RouterRandomized, Shards: cfg.Shards})
 	for _, beta := range []float64{0.25, 0.5, 1, 2, 4} {
 		var worst int64
 		var stalls int64
@@ -174,7 +174,7 @@ func A4Sorter(cfg Config) *Table {
 			{"columnsort", core.RouterDeterministic, core.SortColumnsort},
 			{"offline", core.RouterOffline, core.SortAuto},
 		} {
-			sim := &core.BSPOnLogP{LogP: lp, Router: variant.router, Sort: variant.sort, Seed: cfg.Seed, StrictStallFree: true, Shards: cfg.Shards}
+			sim := cfg.sim(core.BSPOnLogP{LogP: lp, Router: variant.router, Sort: variant.sort, Seed: cfg.Seed, StrictStallFree: true, Shards: cfg.Shards})
 			res, err := sim.Run(prog)
 			must(err)
 			times[variant.name] = res.HostTime

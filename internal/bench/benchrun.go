@@ -158,12 +158,14 @@ func medianUint64(xs []uint64) uint64 {
 }
 
 // MergeReports folds the results of next into base: results sharing an
-// experiment ID are replaced by next's measurement, new IDs are
-// appended in next's order, and everything else of base — including
-// results next did not re-run — is kept. The metadata (Go version,
-// timestamps, repetition count) comes from next, the run that actually
-// produced the fresh numbers. It lets a -scale -bench run extend the
-// checked-in BENCH_logp.json without discarding the regular suite's
+// experiment ID are replaced by next's measurement (the last
+// occurrence when next carries duplicates), new IDs are appended once
+// in next's order, and everything else of base — including results
+// next did not re-run — is kept. TotalWallNanos is recomputed over the
+// merged rows. The metadata (Go version, timestamps, repetition count)
+// comes from next, the run that actually produced the fresh numbers.
+// It lets any subset run — a single -experiment, the -scale suite —
+// extend the checked-in BENCH_logp.json without discarding the other
 // rows.
 func MergeReports(base, next *BenchReport) *BenchReport {
 	merged := *next
@@ -182,9 +184,12 @@ func MergeReports(base, next *BenchReport) *BenchReport {
 		merged.TotalWallNanos += r.WallNanos
 	}
 	for _, r := range next.Results {
-		if _, ok := replaced[r.ID]; ok {
-			merged.Results = append(merged.Results, r)
-			merged.TotalWallNanos += r.WallNanos
+		// Consume the map entry so an ID duplicated in next is
+		// appended once (its last occurrence), not once per occurrence.
+		if nr, ok := replaced[r.ID]; ok {
+			delete(replaced, r.ID)
+			merged.Results = append(merged.Results, nr)
+			merged.TotalWallNanos += nr.WallNanos
 		}
 	}
 	return &merged

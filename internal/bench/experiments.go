@@ -131,7 +131,7 @@ func E1Table1(cfg Config) *Table {
 	}
 	graphs := table1Graphs(target)
 	for _, g := range graphs {
-		net := netsim.New(g)
+		net := cfg.network(g)
 		m := net.MeasureGL(hs, trials, cfg.Seed, false)
 		t.AddRow(g.Name, g.P(), g.AnalyticGamma, g.AnalyticDelta, net.Diameter(), m.G, m.L, m.R2)
 	}
@@ -227,7 +227,7 @@ func E3BSPOnLogPDet(cfg Config) *Table {
 	rng := stats.NewRNG(cfg.Seed)
 	for _, pCount := range ps {
 		lp := logp.Params{P: pCount, L: 16, O: 1, G: 2}
-		sim := &core.BSPOnLogP{LogP: lp, Router: core.RouterDeterministic, Seed: cfg.Seed, StrictStallFree: true, Shards: cfg.Shards}
+		sim := cfg.sim(core.BSPOnLogP{LogP: lp, Router: core.RouterDeterministic, Seed: cfg.Seed, StrictStallFree: true, Shards: cfg.Shards})
 		for h := 1; h <= pCount; h *= 2 {
 			rel := relation.RandomRegular(rng, pCount, h)
 			res, err := sim.Run(relationProgram(rel, int64(h)))
@@ -262,7 +262,7 @@ func E4Randomized(cfg Config) *Table {
 	lp := logp.Params{P: pCount, L: 16, O: 1, G: 2} // capacity 8 >= log2(64)=6
 	rng := stats.NewRNG(cfg.Seed)
 	beta := 1.0
-	sim := &core.BSPOnLogP{LogP: lp, Router: core.RouterRandomized, Beta: beta, Shards: cfg.Shards}
+	sim := cfg.sim(core.BSPOnLogP{LogP: lp, Router: core.RouterRandomized, Beta: beta, Shards: cfg.Shards})
 	for h := int(lp.Capacity()); h <= pCount; h *= 2 {
 		rel := relation.RandomRegular(rng, pCount, h)
 		var worst int64
@@ -392,7 +392,7 @@ func E7Observation1(cfg Config) *Table {
 	graphs := table1Graphs(target)
 	rng := stats.NewRNG(cfg.Seed + 7)
 	for _, g := range graphs {
-		net := netsim.New(g)
+		net := cfg.network(g)
 		m := net.MeasureGL(hs, trials, cfg.Seed, false)
 		gBSP := math.Max(1, m.G)
 		lBSP := math.Max(1, m.L)
@@ -436,7 +436,7 @@ func E8Offline(cfg Config) *Table {
 	rng := stats.NewRNG(cfg.Seed)
 	for _, h := range hs {
 		rel := relation.RandomRegular(rng, pCount, h)
-		sim := &core.BSPOnLogP{LogP: lp, Router: core.RouterOffline, Seed: cfg.Seed, StrictStallFree: true, Shards: cfg.Shards}
+		sim := cfg.sim(core.BSPOnLogP{LogP: lp, Router: core.RouterOffline, Seed: cfg.Seed, StrictStallFree: true, Shards: cfg.Shards})
 		res, err := sim.Run(relationProgram(rel, 0))
 		must(err)
 		opt := lp.HRelationTime(int64(h))

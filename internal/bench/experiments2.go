@@ -6,7 +6,6 @@ import (
 	"repro/internal/bsp"
 	"repro/internal/logp"
 	"repro/internal/netrun"
-	"repro/internal/netsim"
 	"repro/internal/stats"
 )
 
@@ -143,7 +142,7 @@ func E10Portability(cfg Config) *Table {
 		}
 	}
 	for _, g := range graphs {
-		net := netsim.New(g)
+		net := cfg.network(g)
 		meas := net.MeasureGL(hs, 3, cfg.Seed, false)
 		m := netrun.NewMachine(net)
 		res, err := m.Run(prog)

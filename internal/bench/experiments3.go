@@ -7,7 +7,6 @@ import (
 	"repro/internal/collective"
 	"repro/internal/logp"
 	"repro/internal/netlogp"
-	"repro/internal/netsim"
 )
 
 // E11Partitionability makes Section 6's multiuser observation
@@ -207,7 +206,7 @@ func E13LogPOnNetworks(cfg Config) *Table {
 	}
 	graphs := table1Graphs(target)
 	for _, g := range graphs {
-		net := netsim.New(g)
+		net := cfg.network(g)
 		meas := net.MeasureGL(hs, 3, cfg.Seed, false)
 		gStar, lStar := meas.LogPParams()
 		params := logp.Params{P: g.P(), L: int64(lStar), O: 1, G: int64(gStar)}

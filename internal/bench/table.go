@@ -110,6 +110,10 @@ type Config struct {
 	// tables, traces, and audit summaries are byte-identical to the
 	// sequential engine; only wall-clock throughput changes.
 	Shards int
+	// Warm, when non-nil, caches cross-simulators and packet networks
+	// across runs (see Warm); tables are byte-identical with or
+	// without it. Not safe for concurrent use — one Warm per worker.
+	Warm *Warm
 }
 
 // Experiment couples an id with its generator.

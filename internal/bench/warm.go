@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/bsp"
+	"repro/internal/core"
+	"repro/internal/logp"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// Warm is a cross-run cache of the expensive simulation state an
+// experiment builds before it can measure anything: BSP-on-LogP
+// cross-simulators (whose machine/sim/adapter pools already survive
+// across Runs of one value) and packet-network simulators (one
+// Network per topology). A resident server hands each pool worker its
+// own Warm so consecutive jobs on that worker skip reconstruction —
+// the warm-machine-pool half of service mode.
+//
+// A Warm is NOT safe for concurrent use: the cached cross-simulators
+// are single-threaded by contract (BSPOnLogP.Run reads its public
+// fields un-locked). Give each worker goroutine its own Warm.
+//
+// Determinism: a cache hit only ever skips allocation, never state.
+// BSPOnLogP reseeds its machine on every Run (the PR-4 cross-Run
+// reuse contract, locked by the differential fuzzer), and a Network's
+// measurement entry points take their seeds per call, so a job's
+// bytes are identical on a cold and a warm worker — the property the
+// serve determinism tests pin.
+type Warm struct {
+	sims map[simKey]*core.BSPOnLogP
+	nets map[string]*netsim.Network
+}
+
+// simKey identifies a cross-simulator by everything that outlives a
+// Run. Seed and Beta are deliberately absent: both are per-Run inputs
+// the cache rewrites on every fetch, exactly as the seed-sweeping
+// experiment loops already do on their own cached values.
+type simKey struct {
+	lp     logp.Params
+	router core.Router
+	policy logp.DeliveryPolicy
+	sort   core.SortAlgo
+	guest  bsp.Params
+	strict bool
+	shards int
+}
+
+// NewWarm returns an empty cache.
+func NewWarm() *Warm {
+	return &Warm{
+		sims: map[simKey]*core.BSPOnLogP{},
+		nets: map[string]*netsim.Network{},
+	}
+}
+
+// Sim returns a cross-simulator matching spec, reusing a cached one
+// when the cache-relevant fields match (Seed and Beta are rewritten on
+// the cached value; they are per-Run inputs). Specs carrying an
+// EventLog never enter the cache — an event sink cannot be compared
+// across runs, the same rule BSPOnLogP's internal machine cache
+// applies.
+func (w *Warm) Sim(spec core.BSPOnLogP) *core.BSPOnLogP {
+	if spec.EventLog != nil {
+		s := spec
+		return &s
+	}
+	k := simKey{
+		lp:     spec.LogP,
+		router: spec.Router,
+		policy: spec.Policy,
+		sort:   spec.Sort,
+		guest:  spec.Guest,
+		strict: spec.StrictStallFree,
+		shards: spec.Shards,
+	}
+	if s, ok := w.sims[k]; ok {
+		s.Seed = spec.Seed
+		s.Beta = spec.Beta
+		return s
+	}
+	s := new(core.BSPOnLogP)
+	*s = spec
+	w.sims[k] = s
+	return s
+}
+
+// Network returns the packet-network simulator for g, keyed by the
+// topology's name (names like "hypercube(64)" identify the instance).
+func (w *Warm) Network(g *topology.Graph) *netsim.Network {
+	if n, ok := w.nets[g.Name]; ok {
+		return n
+	}
+	n := netsim.New(g)
+	w.nets[g.Name] = n
+	return n
+}
+
+// sim is the experiment-side constructor for cross-simulators: warm
+// configs fetch from the cache, everything else keeps the historical
+// fresh value.
+func (cfg Config) sim(spec core.BSPOnLogP) *core.BSPOnLogP {
+	if cfg.Warm != nil {
+		return cfg.Warm.Sim(spec)
+	}
+	s := spec
+	return &s
+}
+
+// network is the experiment-side constructor for packet networks.
+func (cfg Config) network(g *topology.Graph) *netsim.Network {
+	if cfg.Warm != nil {
+		return cfg.Warm.Network(g)
+	}
+	return netsim.New(g)
+}
+
+// RunJob looks up and runs one experiment under cfg — the job-shaped
+// entry point service mode multiplexes: a (Config, id) pair in, a
+// rendered table out. The table is a pure function of (id, cfg.Quick,
+// cfg.Seed); cfg.Shards and cfg.Warm only change how fast it arrives.
+func RunJob(cfg Config, id string) (*Table, error) {
+	e, ok := Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q", id)
+	}
+	return e.Run(cfg), nil
+}
+
+// RunAuditJob runs one experiment under the process-wide streaming
+// LogP invariant auditor and returns both its table and the audit
+// summary (RequireAcquired, the suite's policy). The audit hook is
+// process-global, so the caller must ensure no other LogP machines run
+// concurrently — service mode serializes audit jobs behind an
+// exclusive gate for exactly this reason.
+func RunAuditJob(cfg Config, id string) (*Table, logp.AuditSummary, error) {
+	e, ok := Lookup(id)
+	if !ok {
+		return nil, logp.AuditSummary{}, fmt.Errorf("bench: unknown experiment %q", id)
+	}
+	logp.EnableAudit(logp.AuditConfig{RequireAcquired: true})
+	defer logp.DisableAudit()
+	tab := e.Run(cfg)
+	return tab, logp.TakeAuditSummary(), nil
+}
