@@ -68,16 +68,24 @@ bench-diff:
 	$(GO) run ./cmd/bsplogp -bench -quick -benchcount 3 -benchout /tmp/BENCH_new.json
 	$(GO) run ./cmd/bsplogp -benchdiff BENCH_logp.json /tmp/BENCH_new.json
 
-# Smoke the large-p scale experiments (E14/E15): -quick skips the
+# Smoke the large-p scale experiments (E14/E15/E16): -quick skips the
 # p=10^6 entries and runs the rest at p=10^5, a few seconds of wall
-# time — the CI guard that the O(active) engines stay live.
+# time — the CI guard that the O(active) engines stay live. The alloc
+# guards run first: they pin warm steady-state allocations per Run
+# (sequential 1, cycle engine 1, sharded/E16 small documented
+# constants), so an arena or slab-reuse regression fails here before
+# it shows up as a bytes/proc drift in BENCH_logp.json.
 bench-scale:
+	$(GO) test -run 'SteadyStateAlloc|TestArena' ./internal/logp/ ./internal/core/ ./internal/bench/
 	$(GO) run ./cmd/bsplogp -scale -quick
 
 # Full scale run at p up to 10^6, merging events/sec and bytes/proc
 # rows into the checked-in BENCH_logp.json (see EXPERIMENTS.md).
+# benchcount 2 makes the reported medians describe a warm repetition:
+# the second rep reuses the pooled machines and arenas, so bytes/proc
+# measures the steady state the alloc guards pin, not construction.
 bench-scale-report:
-	$(GO) run ./cmd/bsplogp -scale -bench -benchout BENCH_logp.json
+	$(GO) run ./cmd/bsplogp -scale -bench -benchcount 2 -benchout BENCH_logp.json
 
 # Smoke the service mode: the serve test suite under the race detector
 # (>= 8 concurrent clients, byte-identical bodies), then a small

@@ -14,6 +14,19 @@
 // with one carve-out: stores indexed by the processor's own identity
 // (p.ID() or a local derived from it), the canonical per-proc result
 // slot pattern, are private by construction and allowed.
+//
+// The scripted form gets the same discipline. A logp.Script's
+// Next(id, prev) runs for every processor on one script value, so its
+// receiver fields and captures are shared exactly like a Program
+// closure's — and the scale workloads deliberately keep all
+// per-processor state in one shared arena of id-indexed slots (the
+// layout the sharded scheduler's sharing contract requires). The
+// carve-out therefore extends to any store whose index chain involves
+// the id parameter or a local derived from it, including flat-offset
+// addressing into a shared backing array (buf[id*h+k]): the slot is
+// private to processor id by construction, so a shared arena written
+// from proc programs is not a finding. Writes to shared state not
+// reached through id — a receiver scalar, a fixed slot — are.
 package procshare
 
 import (
@@ -42,12 +55,20 @@ func run(pass *kit.Pass) {
 			switch n := n.(type) {
 			case *ast.FuncLit:
 				if param := procParam(pass, n.Type); param != nil {
-					checkProgram(pass, n.Body, n.Type, param)
+					checkProgram(pass, n.Body, param, "program")
 					return false // a program does not nest further programs
+				}
+				if param := scriptParam(pass, n.Type); param != nil {
+					checkProgram(pass, n.Body, param, "script")
+					return false
 				}
 			case *ast.FuncDecl:
 				if param := procParam(pass, n.Type); param != nil && n.Body != nil {
-					checkProgram(pass, n.Body, n.Type, param)
+					checkProgram(pass, n.Body, param, "program")
+					return false
+				}
+				if param := scriptParam(pass, n.Type); param != nil && n.Body != nil {
+					checkProgram(pass, n.Body, param, "script")
 					return false
 				}
 			}
@@ -84,9 +105,45 @@ func procParam(pass *kit.Pass, ft *ast.FuncType) types.Object {
 	return nil
 }
 
+// scriptParam returns the object of ft's id parameter when ft has the
+// Script.Next shape — (id int, prev logp.ScriptResult) logp.ScriptOp —
+// and nil otherwise. The id parameter plays the role p.ID() plays in
+// the coroutine form: the processor identity the per-proc slot
+// carve-out keys on.
+func scriptParam(pass *kit.Pass, ft *ast.FuncType) types.Object {
+	if ft.Params == nil || len(ft.Params.List) != 2 ||
+		ft.Results == nil || len(ft.Results.List) != 1 {
+		return nil
+	}
+	id, prev := ft.Params.List[0], ft.Params.List[1]
+	if len(id.Names) != 1 || len(prev.Names) != 1 {
+		return nil
+	}
+	if b, ok := pass.TypeOf(id.Type).(*types.Basic); !ok || b.Kind() != types.Int {
+		return nil
+	}
+	if !logpNamed(pass.TypeOf(prev.Type), "ScriptResult") ||
+		!logpNamed(pass.TypeOf(ft.Results.List[0].Type), "ScriptOp") {
+		return nil
+	}
+	return pass.ObjectOf(id.Names[0])
+}
+
+// logpNamed reports whether t is the named logp type of that name.
+func logpNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "repro/internal/logp"
+}
+
 // checkProgram reports writes to captured or global mutable state from
-// a program body.
-func checkProgram(pass *kit.Pass, body *ast.BlockStmt, ft *ast.FuncType, param types.Object) {
+// a program (or script) body. form is "program" or "script" and only
+// changes the diagnostic wording: a script's shared state is typically
+// its receiver rather than a closure capture.
+func checkProgram(pass *kit.Pass, body *ast.BlockStmt, param types.Object, form string) {
 	local := func(obj types.Object) bool {
 		return obj.Pos() >= body.Lbrace && obj.Pos() <= body.Rbrace
 	}
@@ -117,15 +174,25 @@ func checkProgram(pass *kit.Pass, body *ast.BlockStmt, ft *ast.FuncType, param t
 		if !ok || local(v) || obj == param || v.IsField() {
 			return
 		}
+		if form == "script" && logpNamed(v.Type(), "ScriptResult") {
+			// prev is a value parameter: writes land in this call's
+			// private copy, nothing is shared.
+			return
+		}
 		if procIndexed {
-			return // per-proc slot: out[p.ID()] = v
+			return // per-proc slot: out[p.ID()] = v, or s.slots[id] = v
 		}
 		where := "captured"
-		if v.Parent() == v.Pkg().Scope() {
+		switch {
+		case v.Parent() == v.Pkg().Scope():
 			where = "package-level"
+		case form == "script" && v.Pos() < body.Lbrace:
+			// A script's shared state arrives through its receiver (or
+			// another parameter), not a closure capture.
+			where = "receiver-reachable"
 		}
 		pass.Reportf(lhs.Pos(),
-			"program writes %s variable %s shared by all processors: move data with Send/Recv (so it is charged o, the gap, and a capacity slot) or store into a per-proc slot indexed by the processor id", where, v.Name())
+			"%s writes %s variable %s shared by all processors: move data with Send/Recv (so it is charged o, the gap, and a capacity slot) or store into a per-proc slot indexed by the processor id", form, where, v.Name())
 	}
 
 	ast.Inspect(body, func(n ast.Node) bool {

@@ -11,5 +11,6 @@ func TestProcshare(t *testing.T) {
 	kittest.Run(t, procshare.Analyzer,
 		"testdata/src/ps_a",
 		"testdata/src/ps_clean",
+		"testdata/src/ps_script",
 	)
 }

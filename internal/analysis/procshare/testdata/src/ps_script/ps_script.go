@@ -1,0 +1,104 @@
+// Package ps_script is the scripted-form fixture for the procshare
+// analyzer: a logp.Script's Next(id, prev) runs for every processor on
+// one script value, so receiver fields and captures are shared exactly
+// like a Program closure's. The shared-arena carve-out is the load-
+// bearing negative case: the scale workloads keep all per-processor
+// state in shared slices (one arena) of id-indexed slots, and a store
+// whose index chain involves id must not be a finding — including
+// flat-offset addressing into one backing array.
+package ps_script
+
+import (
+	"repro/internal/logp"
+)
+
+// sharedArena is the clean scale-workload shape: every write lands in
+// a slot indexed by the processor's own id, so the shared backing
+// arrays never move data between processors.
+type sharedArena struct {
+	p, h int
+	step []int32
+	// buf is one flat arena shared by all processors, addressed at
+	// per-proc offsets id*h+k.
+	buf []int64
+}
+
+func (s *sharedArena) Active(int) bool { return true }
+
+func (s *sharedArena) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
+	k := int(s.step[id])
+	s.step[id]++
+	if k < s.h {
+		off := id*s.h + k
+		s.buf[off] = prev.Now // flat-offset per-proc slot: allowed
+		return logp.ScriptOp{Kind: logp.ScriptSend, Dst: (id + 1) % s.p, Tag: int32(k)}
+	}
+	return logp.ScriptOp{Kind: logp.ScriptHalt}
+}
+
+// prevIsPrivate writes the prev value parameter: a per-call copy, not
+// shared state.
+type prevIsPrivate struct{ p int }
+
+func (s *prevIsPrivate) Active(int) bool { return true }
+
+func (s *prevIsPrivate) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
+	prev.Now = 0 // local copy: allowed
+	if id == 0 {
+		return logp.ScriptOp{Kind: logp.ScriptHalt}
+	}
+	return logp.ScriptOp{Kind: logp.ScriptHalt}
+}
+
+// receiverScalar accumulates into one receiver field all processors
+// share — the scripted analogue of the captured-scalar leak.
+type receiverScalar struct {
+	total int64
+}
+
+func (s *receiverScalar) Active(int) bool { return true }
+
+func (s *receiverScalar) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
+	s.total += prev.Msg.Payload // want `script writes receiver-reachable variable s shared by all processors`
+	return logp.ScriptOp{Kind: logp.ScriptHalt}
+}
+
+// fixedSlot writes a shared slice at an index unrelated to id:
+// processors race (in simulated semantics) on slot zero.
+type fixedSlot struct {
+	sums []int64
+}
+
+func (s *fixedSlot) Active(int) bool { return true }
+
+func (s *fixedSlot) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
+	s.sums[0] += prev.Msg.Payload // want `script writes receiver-reachable variable s shared by all processors`
+	return logp.ScriptOp{Kind: logp.ScriptHalt}
+}
+
+// leaked is package-level state every processor can see.
+var leaked int64
+
+// globalWrite mutates package-level state from inside a script; the
+// Next here is a FuncLit assigned to a variable, covering the literal
+// form of the signature match.
+var globalWrite = func(id int, prev logp.ScriptResult) logp.ScriptOp {
+	leaked = prev.Now // want `script writes package-level variable leaked shared by all processors`
+	return logp.ScriptOp{Kind: logp.ScriptHalt}
+}
+
+// derivedOffset stores through a local derived from id — still a
+// per-proc slot, mirroring the taint rule of the coroutine form.
+type derivedOffset struct {
+	h   int
+	buf []int64
+}
+
+func (s *derivedOffset) Active(int) bool { return true }
+
+func (s *derivedOffset) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
+	me := id
+	base := me * s.h
+	s.buf[base] = prev.Now // allowed: index derives from id
+	return logp.ScriptOp{Kind: logp.ScriptHalt}
+}

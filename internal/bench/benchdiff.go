@@ -20,7 +20,16 @@ type DiffResult struct {
 	EventsPSRatio float64
 	OldAllocs     uint64
 	NewAllocs     uint64
-	Regressed     bool
+	// Scale-experiment memory figures (zero for the regular suite):
+	// allocation bytes per guest processor and the peak heap footprint,
+	// with new/old ratios where both sides report them.
+	OldBytesPerProc  float64
+	NewBytesPerProc  float64
+	BytesPPRatio     float64
+	OldHeapSysPeak   uint64
+	NewHeapSysPeak   uint64
+	HeapSysPeakRatio float64
+	Regressed        bool
 }
 
 // BenchDiff compares two reports experiment by experiment, keyed on
@@ -70,6 +79,14 @@ func Diff(old, new *BenchReport, threshold float64) *BenchDiff {
 		if o.EventsPerSec > 0 {
 			r.EventsPSRatio = n.EventsPerSec / o.EventsPerSec
 		}
+		r.OldBytesPerProc, r.NewBytesPerProc = o.BytesPerProc, n.BytesPerProc
+		if o.BytesPerProc > 0 {
+			r.BytesPPRatio = n.BytesPerProc / o.BytesPerProc
+		}
+		r.OldHeapSysPeak, r.NewHeapSysPeak = o.HeapSysPeak, n.HeapSysPeak
+		if o.HeapSysPeak > 0 {
+			r.HeapSysPeakRatio = float64(n.HeapSysPeak) / float64(o.HeapSysPeak)
+		}
 		if threshold >= 0 && o.WallNanos > 0 &&
 			float64(n.WallNanos) > float64(o.WallNanos)*(1+threshold) {
 			r.Regressed = true
@@ -96,48 +113,88 @@ func ratioCell(ratio float64, ok bool) interface{} {
 	return ratio
 }
 
+// bytesPPCell renders a bytes-per-proc figure; regular-suite rows
+// (which never report one) show n/a rather than a misleading 0.
+func bytesPPCell(v float64) interface{} {
+	if v <= 0 {
+		return "n/a"
+	}
+	return v
+}
+
 // Render formats the comparison as an aligned table. Regressed rows
 // are marked "REGRESSED" in the last column; experiments absent from
 // the old report get a row of their own flagged "new", with n/a in
 // every old-side and ratio column.
 func (d *BenchDiff) Render() string {
+	// Memory columns appear only when some compared or new row carries
+	// the scale figures, mirroring BenchReport.Render.
+	scale := false
+	for _, r := range d.Results {
+		if r.OldBytesPerProc > 0 || r.NewBytesPerProc > 0 || r.OldHeapSysPeak > 0 || r.NewHeapSysPeak > 0 {
+			scale = true
+			break
+		}
+	}
+	for _, id := range d.NewOnly {
+		for _, n := range d.New.Results {
+			if n.ID == id && (n.BytesPerProc > 0 || n.HeapSysPeak > 0) {
+				scale = true
+			}
+		}
+	}
 	t := &Table{
 		ID: "BENCHDIFF",
 		Title: fmt.Sprintf("benchmark diff (old %s count=%d vs new %s count=%d)",
 			d.Old.StartedAt, d.Old.Count, d.New.StartedAt, d.New.Count),
-		Columns: []string{"id", "wall-ms-old", "wall-ms-new", "wall-x", "Mev/s-old", "Mev/s-new", "ev/s-x", "allocs-old", "allocs-new", "flag"},
+		Columns: []string{"id", "wall-ms-old", "wall-ms-new", "wall-x", "Mev/s-old", "Mev/s-new", "ev/s-x", "allocs-old", "allocs-new"},
 	}
+	if scale {
+		t.Columns = append(t.Columns, "b/p-old", "b/p-new", "b/p-x", "heapSys-x")
+	}
+	t.Columns = append(t.Columns, "flag")
 	for _, r := range d.Results {
 		flag := ""
 		if r.Regressed {
 			flag = "REGRESSED"
 		}
-		t.AddRow(r.ID,
-			float64(r.OldWallNanos)/1e6,
-			float64(r.NewWallNanos)/1e6,
+		row := []interface{}{r.ID,
+			float64(r.OldWallNanos) / 1e6,
+			float64(r.NewWallNanos) / 1e6,
 			ratioCell(r.WallRatio, r.OldWallNanos > 0),
-			r.OldEventsPS/1e6,
-			r.NewEventsPS/1e6,
-			ratioCell(r.EventsPSRatio, r.OldEventsPS > 0),
-			r.OldAllocs,
-			r.NewAllocs,
-			flag)
+			r.OldEventsPS / 1e6,
+			r.NewEventsPS / 1e6,
+			ratioCell(r.EventsPSRatio, r.OldEventsPS > 0)}
+		row = append(row, r.OldAllocs, r.NewAllocs)
+		if scale {
+			row = append(row,
+				bytesPPCell(r.OldBytesPerProc),
+				bytesPPCell(r.NewBytesPerProc),
+				ratioCell(r.BytesPPRatio, r.OldBytesPerProc > 0),
+				ratioCell(r.HeapSysPeakRatio, r.OldHeapSysPeak > 0))
+		}
+		row = append(row, flag)
+		t.AddRow(row...)
 	}
 	for _, id := range d.NewOnly {
 		for _, n := range d.New.Results {
 			if n.ID != id {
 				continue
 			}
-			t.AddRow(n.ID,
+			row := []interface{}{n.ID,
 				"n/a",
-				float64(n.WallNanos)/1e6,
-				"n/a",
-				"n/a",
-				n.EventsPerSec/1e6,
+				float64(n.WallNanos) / 1e6,
 				"n/a",
 				"n/a",
-				n.Allocs,
-				"new")
+				n.EventsPerSec / 1e6,
+				"n/a",
+				"n/a",
+				n.Allocs}
+			if scale {
+				row = append(row, "n/a", bytesPPCell(n.BytesPerProc), "n/a", "n/a")
+			}
+			row = append(row, "new")
+			t.AddRow(row...)
 			break
 		}
 	}

@@ -117,3 +117,91 @@ func TestDiffEmptyOldReport(t *testing.T) {
 		}
 	}
 }
+
+// TestDiffRenderMemoryColumns pins the scale-memory columns added with
+// the arena work: they appear only when some row carries the figures
+// (regular-suite diffs keep their historical shape), compared scale
+// rows show both bytes/proc values with new/old ratios, regular rows
+// sharing the table show n/a, a baseline written before the counters
+// existed gets n/a ratios, and a new scale experiment's row carries
+// its value with n/a everywhere old-side.
+func TestDiffRenderMemoryColumns(t *testing.T) {
+	old := &BenchReport{
+		StartedAt: "2026-08-01T00:00:00Z", Count: 3,
+		Results: []BenchResult{
+			{ID: "E3", WallNanos: 2_000_000, EventsPerSec: 4e6},
+			{ID: "E14.p10k", WallNanos: 4_000_000, EventsPerSec: 1e6, Procs: 10_000,
+				BytesPerProc: 8000, HeapSysPeak: 400 << 20},
+			// A scale row from before the memory counters existed.
+			{ID: "E15.p10k", WallNanos: 5_000_000, EventsPerSec: 1e6, Procs: 10_000},
+		},
+	}
+	new := &BenchReport{
+		StartedAt: "2026-08-08T00:00:00Z", Count: 3,
+		Results: []BenchResult{
+			{ID: "E3", WallNanos: 1_900_000, EventsPerSec: 4.2e6},
+			{ID: "E14.p10k", WallNanos: 3_000_000, EventsPerSec: 1.5e6, Procs: 10_000,
+				BytesPerProc: 4000, HeapSysPeak: 200 << 20},
+			{ID: "E15.p10k", WallNanos: 4_800_000, EventsPerSec: 1.1e6, Procs: 10_000,
+				BytesPerProc: 12000, HeapSysPeak: 600 << 20},
+			{ID: "E16.p10k", WallNanos: 2_000_000, EventsPerSec: 2e6, Procs: 10_000,
+				BytesPerProc: 5000, HeapSysPeak: 100 << 20},
+		},
+	}
+	out := Diff(old, new, -1).Render()
+
+	row := func(id string) string {
+		t.Helper()
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, id+" ") {
+				return line
+			}
+		}
+		t.Fatalf("no table row for %s in:\n%s", id, out)
+		return ""
+	}
+
+	for _, col := range []string{"b/p-old", "b/p-new", "b/p-x", "heapSys-x"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("diff of scale reports missing column %q:\n%s", col, out)
+		}
+	}
+	// E14.p10k halved both figures: ratios 0.50 on a 2x-improvement.
+	if got := row("E14.p10k"); !strings.Contains(got, "8000") || !strings.Contains(got, "4000") ||
+		strings.Count(got, "0.50") != 2 {
+		t.Errorf("E14.p10k should show 8000 -> 4000 with 0.50 ratios, got: %s", got)
+	}
+	// E15.p10k's baseline predates the counters: values n/a old-side,
+	// ratios undefined.
+	if got := row("E15.p10k"); !strings.Contains(got, "12000") || strings.Count(got, "n/a") != 3 {
+		t.Errorf("E15.p10k (no old memory figures) should show n/a old value and ratios, got: %s", got)
+	}
+	// E3 is a regular experiment sharing the table: all four memory
+	// cells (both values, both ratios) render n/a.
+	if got := row("E3"); strings.Count(got, "n/a") != 4 {
+		t.Errorf("E3 (regular suite) should render n/a memory cells, got: %s", got)
+	}
+	// E16.p10k is new: its bytes/proc shows, everything old-side n/a.
+	if got := row("E16.p10k"); !strings.Contains(got, "5000") ||
+		!strings.HasSuffix(strings.TrimRight(got, " "), "new") || strings.Count(got, "n/a") != 8 {
+		t.Errorf("E16.p10k (new) should carry its value, n/a elsewhere, flag new, got: %s", got)
+	}
+	for _, bad := range []string{"+Inf", "-Inf", "NaN"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("rendered diff contains %q:\n%s", bad, out)
+		}
+	}
+}
+
+// TestDiffRenderNoMemoryColumnsForRegularSuite pins the other half of
+// the column gate: a diff with no scale figures anywhere keeps the
+// historical table shape.
+func TestDiffRenderNoMemoryColumnsForRegularSuite(t *testing.T) {
+	old, new := diffReports()
+	out := Diff(old, new, 0.10).Render()
+	for _, col := range []string{"b/p-old", "b/p-new", "b/p-x", "heapSys-x"} {
+		if strings.Contains(out, col) {
+			t.Errorf("regular-suite diff grew scale column %q:\n%s", col, out)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"time"
 
@@ -35,6 +36,16 @@ type BenchResult struct {
 	// engines from anything paying O(p) per event.
 	Procs        int     `json:"procs,omitempty"`
 	BytesPerProc float64 `json:"bytesPerProc,omitempty"`
+	// HeapSysPeak is the largest heap footprint the runtime held from
+	// the OS net of pages returned to it (runtime.MemStats HeapSys -
+	// HeapReleased) observed right after any repetition of a scale
+	// experiment — the resident-memory proxy the p = 10^6 targets are
+	// stated against. RunBench scopes the warm pool per experiment and
+	// returns retired pools to the OS between experiments, so the
+	// figure describes one experiment's residency, not the cumulative
+	// address-space high water of the whole report run. Zero for the
+	// regular suite.
+	HeapSysPeak uint64 `json:"heapSysPeak,omitempty"`
 }
 
 // BenchReport is the top-level schema of BENCH_logp.json. Reports from
@@ -80,6 +91,7 @@ func RunBench(cfg Config, ids []string, count int) (*BenchReport, error) {
 	if count < 1 {
 		count = 1
 	}
+	callerWarm := cfg.Warm
 	rep := &BenchReport{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -99,7 +111,23 @@ func RunBench(cfg Config, ids []string, count int) (*BenchReport, error) {
 	allocs := make([]uint64, count)
 	allocBytes := make([]uint64, count)
 	for _, e := range exps {
+		if callerWarm == nil {
+			// Benchmarks measure the steady state, not construction: a
+			// warm pool lets repetitions past the first reuse simulators
+			// and machines, so with count >= 2 the median allocation
+			// figures describe a warm run. Tables are byte-identical
+			// either way. The pool is scoped per experiment — one shared
+			// pool would keep every experiment's machines resident at
+			// once, and at p = 10^6 that turns HeapSysPeak into a
+			// cumulative figure instead of one experiment's footprint.
+			// FreeOSMemory returns the previous experiment's retired
+			// pools to the OS so HeapReleased reflects them before the
+			// first repetition measures.
+			cfg.Warm = NewWarm()
+			debug.FreeOSMemory()
+		}
 		var r BenchResult
+		var heapPeak uint64
 		for it := 0; it < count; it++ {
 			runtime.GC()
 			runtime.ReadMemStats(&ms0)
@@ -116,6 +144,9 @@ func RunBench(cfg Config, ids []string, count int) (*BenchReport, error) {
 			walls[it] = wall.Nanoseconds()
 			allocs[it] = ms1.Mallocs - ms0.Mallocs
 			allocBytes[it] = ms1.TotalAlloc - ms0.TotalAlloc
+			if held := ms1.HeapSys - ms1.HeapReleased; held > heapPeak {
+				heapPeak = held
+			}
 			// Deterministic per repetition, so recording the last
 			// repetition's counts records every repetition's.
 			r = BenchResult{
@@ -137,6 +168,7 @@ func RunBench(cfg Config, ids []string, count int) (*BenchReport, error) {
 		if e.Procs > 0 {
 			r.Procs = e.Procs
 			r.BytesPerProc = float64(r.AllocBytes) / float64(e.Procs)
+			r.HeapSysPeak = heapPeak
 		}
 		rep.TotalWallNanos += r.WallNanos
 		rep.Results = append(rep.Results, r)
@@ -167,6 +199,14 @@ func medianUint64(xs []uint64) uint64 {
 // It lets any subset run — a single -experiment, the -scale suite —
 // extend the checked-in BENCH_logp.json without discarding the other
 // rows.
+//
+// Replacement is whole-row: the new row wins field by field, including
+// fields it leaves at their zero value. If a re-run of an ID no longer
+// reports Procs/BytesPerProc/HeapSysPeak (say the experiment lost its
+// scale classification), the merged row carries zeros rather than
+// resurrecting the stale figures from base — stale per-proc numbers
+// silently surviving a merge would corrupt every later -benchdiff.
+// TestMergeReportsNewRowWins pins this.
 func MergeReports(base, next *BenchReport) *BenchReport {
 	merged := *next
 	merged.Results = nil
@@ -232,7 +272,7 @@ func (r *BenchReport) Render() string {
 		Columns: []string{"id", "wall-ms", "sim-events", "events/sec", "net-hops", "hops/sec", "allocs", "alloc-MB"},
 	}
 	if scale {
-		t.Columns = append(t.Columns, "procs", "bytes/proc")
+		t.Columns = append(t.Columns, "procs", "bytes/proc", "heapSys-MB")
 	}
 	for _, b := range r.Results {
 		row := []interface{}{b.ID,
@@ -244,7 +284,7 @@ func (r *BenchReport) Render() string {
 			b.Allocs,
 			float64(b.AllocBytes) / (1 << 20)}
 		if scale {
-			row = append(row, b.Procs, b.BytesPerProc)
+			row = append(row, b.Procs, b.BytesPerProc, float64(b.HeapSysPeak)/(1<<20))
 		}
 		t.AddRow(row...)
 	}

@@ -7,6 +7,8 @@ import (
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/logp"
+	"repro/internal/relation"
+	"repro/internal/stats"
 )
 
 // Large-p scale experiments (E14, E15). They drive the coroutine-free
@@ -87,7 +89,7 @@ func (s *scaleBcastScript) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
 			s.hi[id] = -2
 			return logp.ScriptOp{Kind: logp.ScriptRecv}
 		}
-		s.hi[0] = int64(s.p - 1)
+		s.hi[id] = int64(s.p - 1) // id == 0 here: still a per-proc slot
 	case -2:
 		s.hi[id] = prev.Msg.Payload
 	}
@@ -201,13 +203,76 @@ func (s *scaleRouteScript) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
 	}
 }
 
-// runScaleScript executes a script on a fresh native LogP machine.
-func runScaleScript(cfg Config, lp logp.Params, s logp.Script) logp.Result {
-	var opts []logp.Option
-	if cfg.Shards >= 2 {
-		opts = append(opts, logp.WithShards(cfg.Shards))
+// scaleRandScript routes the Theorem 3 workload: the h-relation formed
+// by superimposing h random permutations (relation.RandomRegularStream),
+// processor id's k-th message going to permutation k's image of id.
+// Like scaleRouteScript, sends run at most the window w ahead of
+// receives, bounding the in-flight record population by p*w while the
+// stalling rule absorbs whatever fan-in the random draws produce.
+//
+// Fixed points of a permutation would be self-sends, which the LogP
+// interface rejects; the script skips them locally. That stays
+// balanced because id receives permutation k's message iff
+// perm_k^-1(id) != id, and a permutation fixes id exactly when its
+// inverse does — so id expects precisely as many messages as it
+// really sends, and the drain phase runs receives until the two
+// counters meet.
+//
+// All per-processor state lives in id-indexed slots; the stream is
+// shared read-only (Pair is a pure lookup), which the sharded
+// scheduler's procshare discipline permits.
+type scaleRandScript struct {
+	p, h, w int
+	rel     *relation.RandomRegularStream
+	// Per processor: k scans the permutation index, issued counts real
+	// (non-self) sends, got counts completed receives.
+	k, issued, got []int32
+}
+
+func newScaleRandScript(rel *relation.RandomRegularStream, w int) *scaleRandScript {
+	p, h := rel.P(), rel.H()
+	if w < 1 {
+		w = 1
 	}
-	res, err := logp.NewMachine(lp, opts...).RunScript(s)
+	return &scaleRandScript{
+		p: p, h: h, w: w, rel: rel,
+		k: make([]int32, p), issued: make([]int32, p), got: make([]int32, p),
+	}
+}
+
+func (s *scaleRandScript) Active(int) bool { return true }
+
+func (s *scaleRandScript) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
+	if s.p == 1 {
+		return logp.ScriptOp{Kind: logp.ScriptHalt}
+	}
+	for {
+		k, issued, got := int(s.k[id]), int(s.issued[id]), int(s.got[id])
+		switch {
+		case k < s.h && issued-got < s.w:
+			s.k[id]++
+			dst := s.rel.Pair(id, k).Dst
+			if dst == id {
+				// Fixed point: no message to route, and by the inverse
+				// symmetry one fewer message to expect.
+				continue
+			}
+			s.issued[id]++
+			return logp.ScriptOp{Kind: logp.ScriptSend, Dst: dst, Tag: int32(k), Payload: int64(id)}
+		case k < s.h || got < issued:
+			s.got[id]++
+			return logp.ScriptOp{Kind: logp.ScriptRecv}
+		default:
+			return logp.ScriptOp{Kind: logp.ScriptHalt}
+		}
+	}
+}
+
+// runScaleScript executes a script on a native LogP machine with the
+// default policy and seed (warm configs reuse a pooled machine; see
+// Config.scriptMachine).
+func runScaleScript(cfg Config, lp logp.Params, s logp.Script) logp.Result {
+	res, err := cfg.scriptMachine(lp, logp.DeliverMaxLatency, logp.AcceptFIFO, 1).RunScript(s)
 	must(err)
 	return res
 }
@@ -242,7 +307,7 @@ func E14Scale(procs int) func(Config) *Table {
 		}
 		for _, w := range workloads {
 			native := runScaleScript(cfg, lp, w.mk())
-			sim := &core.LogPOnBSP{LogP: lp}
+			sim := cfg.thm1(core.LogPOnBSP{LogP: lp})
 			rep, err := sim.RunScript(w.mk())
 			must(err)
 			slow := float64(rep.BSPTime) / float64(native.Time)
@@ -301,6 +366,74 @@ func E15Scale(procs int) func(Config) *Table {
 	}
 }
 
+// scaleRandLogP are the guest parameters of the randomized-routing
+// scale experiment: capacity ceil(L/G) = 20 >= log2(10^6) ≈ 19.93, the
+// premise Theorem 3 needs at the largest processor count.
+func scaleRandLogP(p int) logp.Params {
+	return logp.Params{P: p, L: 40, O: 1, G: 2}
+}
+
+// E16Scale regenerates Theorem 3 at large p: the h-relation formed by
+// h random permutations routes natively on the sparse script engine
+// under DeliverRandom/AcceptRandom, and the worst completion time over
+// the seed sweep is charged against the G*h bound. The permutations
+// are redrawn into one retained flat buffer per seed
+// (RandomRegularStream.Reset) and the machine is pooled when warm, so
+// a p = 10^6 trial's steady-state footprint is the stream (4 bytes per
+// message) plus the windowed in-flight records — the same O(p*w)
+// budget as E15's routes, not O(p*h).
+func E16Scale(procs int) func(Config) *Table {
+	return func(cfg Config) *Table {
+		p := procs
+		seeds := 3
+		if cfg.Quick {
+			seeds = 2
+			if p > 100_000 {
+				p = 100_000
+			}
+		}
+		lp := scaleRandLogP(p)
+		capacity := int(lp.Capacity())
+		t := &Table{
+			ID:      "E16",
+			Title:   fmt.Sprintf("Scale: Theorem 3 randomized routing at p=%d (sparse script engine)", p),
+			Columns: []string{"p", "h", "G*h", "logp-T", "T/(G*h)", "stall-runs", "chernoff-bound"},
+			Notes: []string{
+				fmt.Sprintf("capacity ceil(L/G) = %d >= log2(p) as the theorem requires", capacity),
+				"logp-T: worst completion time over the seed sweep, native sparse engine, DeliverRandom/AcceptRandom",
+				"T/(G*h) must stay O(1) in p for the theorem's regime; chernoff-bound is the failure probability of beta = 1",
+			},
+		}
+		rng := stats.NewRNG(cfg.Seed)
+		rel := &relation.RandomRegularStream{}
+		for _, h := range []int{capacity, 2 * capacity} {
+			var worst int64
+			stallRuns := 0
+			for s := 0; s < seeds; s++ {
+				rel.Reset(rng, p, h)
+				sc := newScaleRandScript(rel, scaleRandWindow)
+				m := cfg.scriptMachine(lp, logp.DeliverRandom, logp.AcceptRandom, cfg.Seed+uint64(s))
+				res, err := m.RunScript(sc)
+				must(err)
+				if res.Time > worst {
+					worst = res.Time
+				}
+				if res.StallEvents > 0 {
+					stallRuns++
+				}
+			}
+			gh := lp.GapTime(int64(h))
+			bound := stats.Theorem3FailureBound(p, h, capacity, 1.0)
+			t.AddRow(p, h, gh, worst, float64(worst)/float64(gh), fmt.Sprintf("%d/%d", stallRuns, seeds), bound)
+		}
+		return t
+	}
+}
+
+// scaleRandWindow is E16's send window: sends run at most this many
+// messages ahead of receives, bounding in-flight records by p*w.
+const scaleRandWindow = 8
+
 // Scale lists the large-p experiments at p = 10^4, 10^5, 10^6. They
 // are registered separately from All(): each run is seconds of wall
 // time and hundreds of megabytes of guest state, which would swamp the
@@ -329,6 +462,12 @@ func Scale() []Experiment {
 				Name:  fmt.Sprintf("Scale: Theorem 2 regimes at p=%d", sz.procs),
 				Procs: sz.procs,
 				Run:   E15Scale(sz.procs),
+			},
+			Experiment{
+				ID:    "E16." + sz.suffix,
+				Name:  fmt.Sprintf("Scale: Theorem 3 randomized routing at p=%d", sz.procs),
+				Procs: sz.procs,
+				Run:   E16Scale(sz.procs),
 			},
 		)
 	}

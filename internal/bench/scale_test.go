@@ -10,6 +10,8 @@ import (
 
 	"repro/internal/collective"
 	"repro/internal/logp"
+	"repro/internal/relation"
+	"repro/internal/stats"
 )
 
 // The scale workloads must be meaningless as a performance story unless
@@ -33,6 +35,11 @@ func scaleWorkloads(p int) []struct {
 		{"barrier", func() logp.Script { return newScaleBarrierScript(p, d) }},
 		{"route-h1", func() logp.Script { return newScaleRouteScript(p, 1, w) }},
 		{"route-h8", func() logp.Script { return newScaleRouteScript(p, 8, w) }},
+		// E16's randomized relation; the stream redraws identically per
+		// mk() call, so every engine form routes the same permutations.
+		{"rand-h4", func() logp.Script {
+			return newScaleRandScript(relation.NewRandomRegularStream(stats.NewRNG(7), p, 4), scaleRandWindow)
+		}},
 	}
 }
 
@@ -81,6 +88,7 @@ func TestScaleGoldenTables(t *testing.T) {
 	}{
 		{"E14", E14Scale(p)},
 		{"E15", E15Scale(p)},
+		{"E16", E16Scale(p)},
 	} {
 		tc := tc
 		t.Run(tc.id, func(t *testing.T) {
@@ -132,8 +140,8 @@ func TestScaleBcastIsSparse(t *testing.T) {
 // carries the processor counts -bench normalizes by.
 func TestScaleRegistry(t *testing.T) {
 	exps := Scale()
-	if len(exps) != 6 {
-		t.Fatalf("Scale() has %d entries, want 6", len(exps))
+	if len(exps) != 9 {
+		t.Fatalf("Scale() has %d entries, want 9", len(exps))
 	}
 	for _, e := range exps {
 		if e.Procs <= 0 {
@@ -147,7 +155,7 @@ func TestScaleRegistry(t *testing.T) {
 		if got.ID != e.ID || got.Procs != e.Procs {
 			t.Errorf("Lookup(%q) = {ID:%s Procs:%d}, want {ID:%s Procs:%d}", e.ID, got.ID, got.Procs, e.ID, e.Procs)
 		}
-		if !strings.HasPrefix(e.ID, "E14.") && !strings.HasPrefix(e.ID, "E15.") {
+		if !strings.HasPrefix(e.ID, "E14.") && !strings.HasPrefix(e.ID, "E15.") && !strings.HasPrefix(e.ID, "E16.") {
 			t.Errorf("unexpected scale id %q", e.ID)
 		}
 	}
@@ -195,5 +203,56 @@ func TestMergeReports(t *testing.T) {
 	}
 	if total := int64(100 + 50 + 300 + 60); m.TotalWallNanos != total {
 		t.Fatalf("TotalWallNanos = %d, want %d", m.TotalWallNanos, total)
+	}
+}
+
+// TestMergeReportsNewRowWins pins the whole-row replacement rule: a
+// re-run row replaces the base row field by field, including fields it
+// leaves at zero, so stale Procs/BytesPerProc/HeapSysPeak figures can
+// never survive a merge and leak into later -benchdiff comparisons.
+func TestMergeReportsNewRowWins(t *testing.T) {
+	base := &BenchReport{Results: []BenchResult{
+		{ID: "E14.p10k", WallNanos: 200, Allocs: 7, Procs: 10_000, BytesPerProc: 99.5, HeapSysPeak: 1 << 30},
+	}}
+	next := &BenchReport{Results: []BenchResult{
+		{ID: "E14.p10k", WallNanos: 50},
+	}}
+	m := MergeReports(base, next)
+	if len(m.Results) != 1 {
+		t.Fatalf("merged %d rows, want 1", len(m.Results))
+	}
+	got := m.Results[0]
+	if got.WallNanos != 50 || got.Allocs != 0 {
+		t.Fatalf("base measurement fields survived the merge: %+v", got)
+	}
+	if got.Procs != 0 || got.BytesPerProc != 0 || got.HeapSysPeak != 0 {
+		t.Fatalf("stale scale fields survived the merge: %+v", got)
+	}
+}
+
+// TestScaleWarmMatchesCold pins the Warm contract on the scale tables:
+// a warm config — including the second fetch, which reuses and reseeds
+// a pooled machine — renders byte-identical tables to a cold run.
+// DeliverRandom makes E16 the sharp case: reseeding must restart the
+// machine's run counter or the second warm run samples a different
+// admissible execution.
+func TestScaleWarmMatchesCold(t *testing.T) {
+	const p = 256
+	for _, tc := range []struct {
+		id  string
+		run func(Config) *Table
+	}{
+		{"E14", E14Scale(p)},
+		{"E15", E15Scale(p)},
+		{"E16", E16Scale(p)},
+	} {
+		cold := tc.run(Config{Seed: 1}).Render()
+		cfg := Config{Seed: 1, Warm: NewWarm()}
+		if first := tc.run(cfg).Render(); first != cold {
+			t.Errorf("%s: first warm run diverged from cold:\n--- warm ---\n%s\n--- cold ---\n%s", tc.id, first, cold)
+		}
+		if second := tc.run(cfg).Render(); second != cold {
+			t.Errorf("%s: second (pooled) warm run diverged from cold:\n--- warm ---\n%s\n--- cold ---\n%s", tc.id, second, cold)
+		}
 	}
 }

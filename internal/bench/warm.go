@@ -29,8 +29,10 @@ import (
 // bytes are identical on a cold and a warm worker — the property the
 // serve determinism tests pin.
 type Warm struct {
-	sims map[simKey]*core.BSPOnLogP
-	nets map[string]*netsim.Network
+	sims     map[simKey]*core.BSPOnLogP
+	nets     map[string]*netsim.Network
+	machines map[machKey]*logp.Machine
+	thm1     map[thm1Key]*core.LogPOnBSP
 }
 
 // simKey identifies a cross-simulator by everything that outlives a
@@ -47,11 +49,35 @@ type simKey struct {
 	shards int
 }
 
+// machKey identifies a native LogP machine by everything that outlives
+// a Run. The seed is deliberately absent: it is a per-Run input the
+// cache rewrites on every fetch via SetSeed, which restarts the run
+// counter so the warm machine's next Run is byte-identical to a fresh
+// machine's first.
+type machKey struct {
+	lp     logp.Params
+	policy logp.DeliveryPolicy
+	accept logp.AcceptOrder
+	shards int
+}
+
+// thm1Key identifies a Theorem 1 cross-simulator by its public
+// configuration; the replay engine behind it is deterministic and
+// carries no per-Run inputs.
+type thm1Key struct {
+	lp       logp.Params
+	bp       bsp.Params
+	cycleLen int64
+	fold     int
+}
+
 // NewWarm returns an empty cache.
 func NewWarm() *Warm {
 	return &Warm{
-		sims: map[simKey]*core.BSPOnLogP{},
-		nets: map[string]*netsim.Network{},
+		sims:     map[simKey]*core.BSPOnLogP{},
+		nets:     map[string]*netsim.Network{},
+		machines: map[machKey]*logp.Machine{},
+		thm1:     map[thm1Key]*core.LogPOnBSP{},
 	}
 }
 
@@ -86,6 +112,49 @@ func (w *Warm) Sim(spec core.BSPOnLogP) *core.BSPOnLogP {
 	return s
 }
 
+// Machine returns a native LogP machine for the given configuration,
+// reseeded to seed. A warm hit reuses the cached machine's processor
+// arena, record slab, and heaps; SetSeed restarts its run counter, so
+// the next Run replays exactly the bytes a fresh machine built with
+// WithSeed(seed) would produce — the property the scale alloc guards
+// and the serve determinism tests rely on.
+func (w *Warm) Machine(lp logp.Params, policy logp.DeliveryPolicy, accept logp.AcceptOrder, seed uint64, shards int) *logp.Machine {
+	k := machKey{lp: lp, policy: policy, accept: accept, shards: shards}
+	if m, ok := w.machines[k]; ok {
+		// The benchmark harness reseeds between jobs exactly as the
+		// engine-family caches do, never mid-run, so the trace always
+		// follows the configured seed.
+		//lint:ignore apidiscipline warm-pool reseed between runs, the use SetSeed exists for
+		m.SetSeed(seed)
+		return m
+	}
+	opts := []logp.Option{
+		logp.WithDeliveryPolicy(policy),
+		logp.WithAcceptOrder(accept),
+		logp.WithSeed(seed),
+	}
+	if shards >= 2 {
+		opts = append(opts, logp.WithShards(shards))
+	}
+	m := logp.NewMachine(lp, opts...)
+	w.machines[k] = m
+	return m
+}
+
+// Thm1 returns a Theorem 1 cross-simulator matching spec, reusing a
+// cached one when the public configuration matches; the replay engine
+// it retains resets wholesale on every Run.
+func (w *Warm) Thm1(spec core.LogPOnBSP) *core.LogPOnBSP {
+	k := thm1Key{lp: spec.LogP, bp: spec.BSP, cycleLen: spec.CycleLen, fold: spec.Fold}
+	if s, ok := w.thm1[k]; ok {
+		return s
+	}
+	s := new(core.LogPOnBSP)
+	*s = spec
+	w.thm1[k] = s
+	return s
+}
+
 // Network returns the packet-network simulator for g, keyed by the
 // topology's name (names like "hypercube(64)" identify the instance).
 func (w *Warm) Network(g *topology.Graph) *netsim.Network {
@@ -103,6 +172,34 @@ func (w *Warm) Network(g *topology.Graph) *netsim.Network {
 func (cfg Config) sim(spec core.BSPOnLogP) *core.BSPOnLogP {
 	if cfg.Warm != nil {
 		return cfg.Warm.Sim(spec)
+	}
+	s := spec
+	return &s
+}
+
+// scriptMachine is the experiment-side constructor for the native LogP
+// machines the scale scripts run on: warm configs fetch from the cache
+// (reseeded), everything else builds the historical fresh machine. The
+// two are byte-identical by the WithSeed contract.
+func (cfg Config) scriptMachine(lp logp.Params, policy logp.DeliveryPolicy, accept logp.AcceptOrder, seed uint64) *logp.Machine {
+	if cfg.Warm != nil {
+		return cfg.Warm.Machine(lp, policy, accept, seed, cfg.Shards)
+	}
+	opts := []logp.Option{
+		logp.WithDeliveryPolicy(policy),
+		logp.WithAcceptOrder(accept),
+		logp.WithSeed(seed),
+	}
+	if cfg.Shards >= 2 {
+		opts = append(opts, logp.WithShards(cfg.Shards))
+	}
+	return logp.NewMachine(lp, opts...)
+}
+
+// thm1 is the experiment-side constructor for Theorem 1 replays.
+func (cfg Config) thm1(spec core.LogPOnBSP) *core.LogPOnBSP {
+	if cfg.Warm != nil {
+		return cfg.Warm.Thm1(spec)
 	}
 	s := spec
 	return &s

@@ -1,12 +1,11 @@
 package core
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"iter"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/bsp"
 	"repro/internal/logp"
@@ -43,6 +42,10 @@ type LogPOnBSP struct {
 	// Ramachandran et al. 0 or 1 selects the direct simulation. Fold
 	// must divide P.
 	Fold int
+
+	// eng is the reusable replay engine: its slabs persist across Run
+	// and RunScript calls and are reset wholesale (see cycleEngine).
+	eng *cycleEngine
 }
 
 // Thm1Result reports the cost of a LogPOnBSP execution.
@@ -117,6 +120,12 @@ func (s *LogPOnBSP) params() (logp.Params, bsp.Params, int64, int) {
 // submitted in cycle k is delivered at the start of cycle k+1 in
 // submission order, which is one of the admissible LogP executions for
 // a stall-free program.
+//
+// Run and RunScript may be called repeatedly on one LogPOnBSP: the
+// replay engine's slabs (guest records, message records, count
+// columns, heaps) are retained across calls and reset wholesale, so a
+// warm simulator replays with near-zero steady-state allocation. A
+// LogPOnBSP is therefore not safe for concurrent use.
 func (s *LogPOnBSP) Run(prog logp.Program) (Thm1Result, error) {
 	return s.execute(prog, nil)
 }
@@ -147,25 +156,14 @@ func (s *LogPOnBSP) execute(prog logp.Program, sc logp.Script) (Thm1Result, erro
 	if bp.P != lp.P/fold {
 		return Thm1Result{}, fmt.Errorf("core: BSP host has %d processors, need %d (p/fold)", bp.P, lp.P/fold)
 	}
-	eng := &cycleEngine{
-		lp:       lp,
-		cycleLen: cycleLen,
-		fold:     fold,
-		rcvdCnt:  map[int64]int32{},
-		// The executed stalling extension needs a cycle's message pairs;
-		// it only runs for the unfolded power-of-two replay, so pairs are
-		// retained only there — everything else keeps O(1) per message.
-		keepPairs: fold == 1 && isPow2(lp.P),
+	if s.eng == nil {
+		s.eng = &cycleEngine{}
 	}
-	if fold == 1 {
-		eng.sentCnt = map[int64]int32{}
-	} else {
-		eng.sentX = map[int64]int32{}
-		eng.rcvdX = map[int64]int32{}
-	}
-	if eng.keepPairs {
-		eng.msgs = map[int64][]relation.Pair{}
-	}
+	eng := s.eng
+	// The executed stalling extension needs a cycle's message pairs; it
+	// only runs for the unfolded power-of-two replay, so pairs are
+	// retained only there — everything else keeps O(1) per message.
+	eng.reset(lp, cycleLen, fold, fold == 1 && isPow2(lp.P))
 	defer eng.shutdown()
 	var err error
 	if sc != nil {
@@ -183,40 +181,62 @@ func (s *LogPOnBSP) execute(prog logp.Program, sc logp.Script) (Thm1Result, erro
 // a reduced variant of the logp engine: the medium accepts every
 // submission immediately and delivers it at the next cycle boundary.
 //
-// The bookkeeping is sparse: per-guest counts live in flat maps keyed
-// cycle*width + id (O(1) per message, O(messages) total) rather than an
-// O(p) row per touched cycle, and the per-cycle aggregates result()
-// needs — the relation degree and the overload flag — are folded in
-// incrementally at submission time. Runnable guests sit in a (clock,
-// id) min-heap, so each scheduling step costs O(log p) instead of the
-// former O(p) scan. Together these keep a p = 10^6 replay's cost
-// proportional to its traffic, not to p times its length.
+// The engine is arena-shaped: every bulk structure is a flat slab that
+// a LogPOnBSP retains across runs and reset() makes reusable without
+// freeing. Guests live in one dense []cycleProc slab (no per-guest
+// allocation, stable &procs[i] pointers); each message occupies one
+// cycleRec slab record for its whole lifecycle, referenced by int32
+// index from the event heap and chained intrusively into its
+// destination's input FIFO, so heap sifts move 20-byte refs instead of
+// 70-byte events and delivery allocates nothing. Per-guest fan-in/out
+// counts — formerly flat maps keyed cycle*p+id — are flat int32
+// columns held in a sliding window of live cycles (see colsFor):
+// submissions commit in nondecreasing parked-clock order, so once the
+// committing guest's clock passes a cycle's end that cycle can never
+// be counted or queried again and its columns retire to a pool. The
+// per-cycle aggregates result() needs — the relation degree and the
+// overload flag — are folded in incrementally at submission time.
+// Runnable guests sit in a (clock, id) min-heap of value refs, so each
+// scheduling step costs O(log p) and chases no pointers. Together
+// these keep a p = 10^6 replay's cost proportional to its traffic, not
+// to p times its length, with near-zero steady-state allocation on a
+// warm simulator.
 type cycleEngine struct {
 	lp       logp.Params
 	cycleLen int64
 	fold     int
+	capacity int64 // lp.Capacity(), cached off the per-send path
 
 	// script is non-nil for the coroutine-free form (runScript): guests
 	// are advanced by scriptSegment instead of an iter.Pull resume.
 	script logp.Script
 
-	procs  []*cycleProc
+	procs  []cycleProc
 	ready  cycleReadyHeap
-	events cycleHeap
+	events cycleEventHeap
 	seq    int64
 
-	sentCnt map[int64]int32 // fold == 1: (cycle*P + src) -> submissions
-	rcvdCnt map[int64]int32 // (cycle*P + dst) -> fan-in
-	// Host-level cross-traffic counts (guest-local messages between
-	// guests folded onto the same host are free).
-	sentX map[int64]int32 // fold > 1: (cycle*hostP + host) -> cross out
-	rcvdX map[int64]int32 // fold > 1: (cycle*hostP + host) -> cross in
+	// recs backs every in-flight or buffered message's single record;
+	// freed records recycle through the recFree intrusive free list.
+	recs    []cycleRec
+	recFree int32
+
+	// Windowed per-cycle count columns (replacing the former flat count
+	// maps): colLive[colHead:] holds the live window, colLive[colHead]
+	// being cycle colBase's bundle; nil slots are cycles with no
+	// traffic. Retired bundles are zeroed into colPool for reuse.
+	colBase int64
+	colHead int
+	colLive []*cycleCols
+	colPool []*cycleCols
 
 	maxH     []int64 // per cycle: running relation-degree maximum
 	overload []bool  // per cycle: some guest fan-in exceeded capacity
 
 	keepPairs bool
 	msgs      map[int64][]relation.Pair // cycle -> message slots (executed extension)
+
+	wake []int32 // deliverInstant scratch: guest ids to wake, in id order
 
 	// grouping is lent to stallingExtensionTime so replays with many
 	// overloaded cycles regroup into one reused backing.
@@ -236,9 +256,13 @@ type cycleProc struct {
 	// operation: submissions and acquisitions share one per-processor
 	// gap stream, as in the logp engine.
 	nextComm int64
-	buf      []cycleArrived
-	state    cycleState
-	pending  cycleReq
+	// Input buffer: an intrusive FIFO through cycleEngine.recs, in
+	// delivery order. bufHead/bufTail are -1 when empty.
+	bufHead int32
+	bufTail int32
+	bufLen  int32
+	state   cycleState
+	pending cycleReq
 	// The program runs as an iter.Pull coroutine, as in the logp
 	// engine's fast path: next resumes the program until its next
 	// engine call, which stores the request in out, yields, and reads
@@ -254,9 +278,38 @@ type cycleProc struct {
 	final cycleReq
 }
 
-type cycleArrived struct {
-	msg logp.Message
-	at  int64
+// reinit prepares a slab record for a fresh run.
+func (p *cycleProc) reinit(id int, e *cycleEngine) {
+	p.id = id
+	p.eng = e
+	p.clock, p.nextComm = 0, 0
+	p.bufHead, p.bufTail, p.bufLen = -1, -1, 0
+	p.state = cycleReady
+	p.pending = cycleReq{}
+	p.next, p.stop, p.yield = nil, nil, nil
+	p.out, p.final = cycleReq{}, cycleReq{}
+	p.resp = cycleRes{}
+}
+
+// cycleRec is one message's slab record: in flight, it is referenced
+// by its delivery event; once delivered, at holds the arrival instant
+// and next chains the record into the destination's input FIFO. Freed
+// records chain through next into the engine's free list.
+type cycleRec struct {
+	msg  logp.Message
+	at   int64
+	next int32
+}
+
+// cycleCols is one cycle's fan-in/out count columns. rcvd (per guest)
+// always exists — the capacity-spreading rule queries it. sent (per
+// guest) exists for the direct simulation; sentX/rcvdX (per host)
+// carry the cross-host traffic of a folded replay.
+type cycleCols struct {
+	rcvd  []int32
+	sent  []int32
+	sentX []int32
+	rcvdX []int32
 }
 
 type cycleState uint8
@@ -357,53 +410,125 @@ func (p *cycleProc) Buffered() int {
 	return int(p.call(cycleReq{op: cycleBuffered}).n)
 }
 
-type cycleEvent struct {
+// cycleEventRef is one event-heap entry: the (time, seq) sort key plus
+// the slab index of the message record it delivers. Sifts move these
+// 20-byte values instead of full messages, and the hand-rolled heap
+// avoids container/heap's per-push interface boxing (an allocation per
+// event at p = 10^6 scale).
+type cycleEventRef struct {
 	time int64
 	seq  int64
-	msg  logp.Message
+	idx  int32
 }
 
-type cycleHeap []cycleEvent
+type cycleEventHeap []cycleEventRef
 
-func (h cycleHeap) Len() int { return len(h) }
-func (h cycleHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func cycleEvBefore(a, b cycleEventRef) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h cycleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *cycleHeap) Push(x interface{}) { *h = append(*h, x.(cycleEvent)) }
-func (h *cycleHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+
+func (h *cycleEventHeap) push(ref cycleEventRef) {
+	a := append(*h, ref)
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !cycleEvBefore(a[i], a[parent]) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+	*h = a
+}
+
+func (h *cycleEventHeap) popMin() cycleEventRef {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a = a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && cycleEvBefore(a[l], a[min]) {
+			min = l
+		}
+		if r < n && cycleEvBefore(a[r], a[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		a[i], a[min] = a[min], a[i]
+		i = min
+	}
+	*h = a
+	return top
+}
+
+// cycleReadyRef is one ready-heap entry: the (clock, id) commit key,
+// copied out of the guest at push time. A guest's clock never changes
+// while it sits in the heap — clocks move only in exec (guest popped
+// first) and completeRecv (guest parked in cycleWaitMsg, outside the
+// heap) — so the copied key never goes stale.
+type cycleReadyRef struct {
+	clock int64
+	id    int32
 }
 
 // cycleReadyHeap orders runnable guests by (clock, id) — the commit
-// order of the replay. A guest's clock never changes while it sits in
-// the heap: clocks move only in exec (guest popped first) and
-// completeRecv (guest parked in cycleWaitMsg, outside the heap).
-type cycleReadyHeap []*cycleProc
+// order of the replay.
+type cycleReadyHeap []cycleReadyRef
 
-func (h cycleReadyHeap) Len() int { return len(h) }
-func (h cycleReadyHeap) Less(i, j int) bool {
-	if h[i].clock != h[j].clock {
-		return h[i].clock < h[j].clock
+func cycleReadyBefore(a, b cycleReadyRef) bool {
+	if a.clock != b.clock {
+		return a.clock < b.clock
 	}
-	return h[i].id < h[j].id
+	return a.id < b.id
 }
-func (h cycleReadyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *cycleReadyHeap) Push(x interface{}) { *h = append(*h, x.(*cycleProc)) }
-func (h *cycleReadyHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return v
+
+func (h *cycleReadyHeap) push(ref cycleReadyRef) {
+	a := append(*h, ref)
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !cycleReadyBefore(a[i], a[parent]) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+	*h = a
+}
+
+func (h *cycleReadyHeap) popMin() cycleReadyRef {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a = a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && cycleReadyBefore(a[l], a[min]) {
+			min = l
+		}
+		if r < n && cycleReadyBefore(a[r], a[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		a[i], a[min] = a[min], a[i]
+		i = min
+	}
+	*h = a
+	return top
 }
 
 // scriptSegment advances a scripted guest to its next engine request,
@@ -491,20 +616,76 @@ func isCycleStopped(r interface{}) bool {
 	return ok && errors.Is(err, errCycleStopped)
 }
 
+// reset prepares the retained engine for a fresh replay with the given
+// shape. Slabs are truncated in place — message records zeroed so
+// stale bodies do not pin guest memory — and live count columns are
+// flushed back to the pool, or dropped when the (P, fold) shape
+// changed, since bundles are sized by it. Nothing is freed, so a warm
+// simulator replays with near-zero steady-state allocation.
+func (e *cycleEngine) reset(lp logp.Params, cycleLen int64, fold int, keepPairs bool) {
+	sameShape := e.lp.P == lp.P && e.fold == fold
+	e.lp = lp
+	e.cycleLen = cycleLen
+	e.fold = fold
+	e.capacity = lp.Capacity()
+	e.script = nil
+	if len(e.procs) != lp.P {
+		e.procs = make([]cycleProc, lp.P)
+	}
+	e.ready = e.ready[:0]
+	e.events = e.events[:0]
+	e.seq = 0
+	for i := range e.recs {
+		e.recs[i] = cycleRec{}
+	}
+	e.recs = e.recs[:0]
+	e.recFree = -1
+	if !sameShape {
+		clear(e.colPool)
+		e.colPool = e.colPool[:0]
+	}
+	for i := e.colHead; i < len(e.colLive); i++ {
+		if c := e.colLive[i]; c != nil && sameShape {
+			e.clearCols(c)
+			e.colPool = append(e.colPool, c)
+		}
+	}
+	clear(e.colLive)
+	e.colLive = e.colLive[:0]
+	e.colHead = 0
+	e.colBase = 0
+	e.maxH = e.maxH[:0]
+	e.overload = e.overload[:0]
+	e.keepPairs = keepPairs
+	e.msgs = nil
+	if keepPairs {
+		e.msgs = make(map[int64][]relation.Pair)
+	}
+	e.wake = e.wake[:0]
+	e.guestTime = 0
+	e.totalMsgs = 0
+	e.procErr = nil
+}
+
+// shutdown unwinds still-parked coroutines and drops per-guest
+// closures and requests, so the retained slab pins no program state
+// (closures, message bodies) between runs.
 func (e *cycleEngine) shutdown() {
-	for _, p := range e.procs {
+	for i := range e.procs {
+		p := &e.procs[i]
 		if p.stop != nil {
 			p.stop()
 		}
+		p.next, p.stop, p.yield = nil, nil, nil
+		p.pending, p.out, p.final = cycleReq{}, cycleReq{}, cycleReq{}
+		p.resp = cycleRes{}
 	}
 }
 
 func (e *cycleEngine) run(prog logp.Program) error {
-	n := e.lp.P
-	e.procs = make([]*cycleProc, n)
-	for i := 0; i < n; i++ {
-		p := &cycleProc{id: i, eng: e}
-		e.procs[i] = p
+	for i := range e.procs {
+		p := &e.procs[i]
+		p.reinit(i, e)
 		p.next, p.stop = iter.Pull(p.sequence(prog))
 		e.await(p)
 	}
@@ -513,11 +694,9 @@ func (e *cycleEngine) run(prog logp.Program) error {
 
 func (e *cycleEngine) runScript(sc logp.Script) error {
 	e.script = sc
-	n := e.lp.P
-	e.procs = make([]*cycleProc, n)
-	for i := 0; i < n; i++ {
-		p := &cycleProc{id: i, eng: e}
-		e.procs[i] = p
+	for i := range e.procs {
+		p := &e.procs[i]
+		p.reinit(i, e)
 		e.await(p)
 	}
 	return e.loop()
@@ -539,8 +718,8 @@ func (e *cycleEngine) loop() error {
 		}
 		if len(e.ready) == 0 {
 			allDone := true
-			for _, p := range e.procs {
-				if p.state != cycleDone {
+			for i := range e.procs {
+				if e.procs[i].state != cycleDone {
 					allDone = false
 					break
 				}
@@ -552,22 +731,23 @@ func (e *cycleEngine) loop() error {
 				return e.procErr
 			}
 			var blocked []int
-			for _, p := range e.procs {
-				if p.state == cycleWaitMsg {
-					blocked = append(blocked, p.id)
+			for i := range e.procs {
+				if e.procs[i].state == cycleWaitMsg {
+					blocked = append(blocked, e.procs[i].id)
 				}
 			}
 			return fmt.Errorf("core: deadlock in Theorem 1 replay: processors %v blocked on Recv", blocked)
 		}
-		e.exec(heap.Pop(&e.ready).(*cycleProc))
+		ref := e.ready.popMin()
+		e.exec(&e.procs[ref.id])
 	}
 
 	for len(e.events) > 0 {
 		e.deliverInstant(e.events[0].time)
 	}
-	for _, p := range e.procs {
-		if p.clock > e.guestTime {
-			e.guestTime = p.clock
+	for i := range e.procs {
+		if c := e.procs[i].clock; c > e.guestTime {
+			e.guestTime = c
 		}
 	}
 	return e.procErr
@@ -590,14 +770,14 @@ func (e *cycleEngine) await(p *cycleProc) {
 			}
 		default:
 			p.state = cycleReady
-			heap.Push(&e.ready, p)
+			e.ready.push(cycleReadyRef{clock: p.clock, id: int32(p.id)})
 		}
 		return
 	}
 	if _, ok := p.next(); ok {
 		p.pending = p.out
 		p.state = cycleReady
-		heap.Push(&e.ready, p)
+		e.ready.push(cycleReadyRef{clock: p.clock, id: int32(p.id)})
 		return
 	}
 	p.state = cycleDone
@@ -620,38 +800,114 @@ func (e *cycleEngine) ensureCycle(cycle int64) {
 	}
 }
 
-func (e *cycleEngine) bump(m map[int64]int32, key int64) int64 {
-	c := m[key] + 1
-	m[key] = c
-	return int64(c)
-}
-
 func (e *cycleEngine) noteH(cycle, c int64) {
 	if c > e.maxH[cycle] {
 		e.maxH[cycle] = c
 	}
 }
 
-// countSend folds one submission into the sparse per-cycle statistics:
-// the flat count maps, the cycle's running relation-degree maximum,
-// and its overload flag. Counts only grow, so taking the maximum of
-// every intermediate value equals the maximum of the final per-guest
-// counts the dense rows used to hold.
+// takeCols returns a zeroed column bundle, pooled or fresh, sized for
+// the current (P, fold) shape.
+func (e *cycleEngine) takeCols() *cycleCols {
+	if n := len(e.colPool); n > 0 {
+		c := e.colPool[n-1]
+		e.colPool[n-1] = nil
+		e.colPool = e.colPool[:n-1]
+		return c
+	}
+	c := &cycleCols{rcvd: make([]int32, e.lp.P)}
+	if e.fold == 1 {
+		c.sent = make([]int32, e.lp.P)
+	} else {
+		hostP := e.lp.P / e.fold
+		c.sentX = make([]int32, hostP)
+		c.rcvdX = make([]int32, hostP)
+	}
+	return c
+}
+
+func (e *cycleEngine) clearCols(c *cycleCols) {
+	clear(c.rcvd)
+	clear(c.sent)
+	clear(c.sentX)
+	clear(c.rcvdX)
+}
+
+// colsFor returns cycle's column bundle, extending the live window as
+// needed. Callers only ever ask for cycles at or above the retirement
+// floor (see retireCols), so cycle >= colBase + colHead always holds.
+func (e *cycleEngine) colsFor(cycle int64) *cycleCols {
+	idx := int(cycle - e.colBase)
+	for idx >= len(e.colLive) {
+		e.colLive = append(e.colLive, nil)
+	}
+	c := e.colLive[idx]
+	if c == nil {
+		c = e.takeCols()
+		e.colLive[idx] = c
+	}
+	return c
+}
+
+// retireCols returns the columns of every cycle below floor to the
+// pool. The floor is the committing guest's parked clock divided by
+// the cycle length: commits happen in nondecreasing parked-clock
+// order and a submission instant is >= the submitter's clock, so no
+// later submission can bump — or query the fan-in of — a cycle that
+// ended before the current committer's clock. floor is therefore
+// nondecreasing across calls, which keeps colBase monotone.
+func (e *cycleEngine) retireCols(floor int64) {
+	for e.colHead < len(e.colLive) && e.colBase+int64(e.colHead) < floor {
+		if c := e.colLive[e.colHead]; c != nil {
+			e.clearCols(c)
+			e.colPool = append(e.colPool, c)
+			e.colLive[e.colHead] = nil
+		}
+		e.colHead++
+	}
+	if e.colHead == len(e.colLive) {
+		// Window empty: rebase directly to the floor, so a long quiet
+		// stretch (WaitUntil far ahead) costs no window slots.
+		if floor > e.colBase {
+			e.colBase = floor
+		}
+		e.colHead = 0
+		e.colLive = e.colLive[:0]
+	} else if e.colHead > 32 && 2*e.colHead >= len(e.colLive) {
+		n := copy(e.colLive, e.colLive[e.colHead:])
+		for i := n; i < len(e.colLive); i++ {
+			e.colLive[i] = nil
+		}
+		e.colLive = e.colLive[:n]
+		e.colBase += int64(e.colHead)
+		e.colHead = 0
+	}
+}
+
+// countSend folds one submission into the per-cycle statistics: the
+// live window's count columns, the cycle's running relation-degree
+// maximum, and its overload flag. Counts only grow, so taking the
+// maximum of every intermediate value equals the maximum of the final
+// per-guest counts the former flat maps used to hold.
 func (e *cycleEngine) countSend(cycle int64, msg logp.Message) {
 	e.ensureCycle(cycle)
-	in := e.bump(e.rcvdCnt, cycle*int64(e.lp.P)+int64(msg.Dst))
-	if in > e.lp.Capacity() {
+	c := e.colsFor(cycle)
+	c.rcvd[msg.Dst]++
+	in := int64(c.rcvd[msg.Dst])
+	if in > e.capacity {
 		e.overload[cycle] = true
 	}
 	if e.fold == 1 {
-		e.noteH(cycle, e.bump(e.sentCnt, cycle*int64(e.lp.P)+int64(msg.Src)))
+		c.sent[msg.Src]++
+		e.noteH(cycle, int64(c.sent[msg.Src]))
 		e.noteH(cycle, in)
 	} else if msg.Src/e.fold != msg.Dst/e.fold {
 		// Folded hosts route the cross-host traffic of all their
 		// guests; only that traffic contributes to the host relation.
-		hostP := int64(e.lp.P / e.fold)
-		e.noteH(cycle, e.bump(e.sentX, cycle*hostP+int64(msg.Src/e.fold)))
-		e.noteH(cycle, e.bump(e.rcvdX, cycle*hostP+int64(msg.Dst/e.fold)))
+		c.sentX[msg.Src/e.fold]++
+		e.noteH(cycle, int64(c.sentX[msg.Src/e.fold]))
+		c.rcvdX[msg.Dst/e.fold]++
+		e.noteH(cycle, int64(c.rcvdX[msg.Dst/e.fold]))
 	}
 	if e.keepPairs {
 		e.msgs[cycle] = append(e.msgs[cycle], relation.Pair{Src: msg.Src, Dst: msg.Dst})
@@ -659,9 +915,60 @@ func (e *cycleEngine) countSend(cycle int64, msg logp.Message) {
 }
 
 // cycleFanIn returns how many messages this cycle has already directed
-// at dst (before the current one).
+// at dst (before the current one). Cycles outside the live window have
+// seen no traffic yet.
 func (e *cycleEngine) cycleFanIn(cycle int64, dst int) int64 {
-	return int64(e.rcvdCnt[cycle*int64(e.lp.P)+int64(dst)])
+	idx := int(cycle - e.colBase)
+	if idx >= len(e.colLive) || e.colLive[idx] == nil {
+		return 0
+	}
+	return int64(e.colLive[idx].rcvd[dst])
+}
+
+// newRec takes a slab record for msg, reusing the free list first.
+func (e *cycleEngine) newRec(msg logp.Message) int32 {
+	if e.recFree >= 0 {
+		idx := e.recFree
+		r := &e.recs[idx]
+		e.recFree = r.next
+		r.msg = msg
+		r.at = 0
+		r.next = -1
+		return idx
+	}
+	e.recs = append(e.recs, cycleRec{msg: msg, next: -1})
+	return int32(len(e.recs) - 1)
+}
+
+// appendBuf chains record idx onto p's input FIFO with arrival time at.
+func (e *cycleEngine) appendBuf(p *cycleProc, idx int32, at int64) {
+	r := &e.recs[idx]
+	r.at = at
+	r.next = -1
+	if p.bufTail >= 0 {
+		e.recs[p.bufTail].next = idx
+	} else {
+		p.bufHead = idx
+	}
+	p.bufTail = idx
+	p.bufLen++
+}
+
+// popBufFree unlinks p's buffer head, frees its record, and returns
+// the message.
+func (e *cycleEngine) popBufFree(p *cycleProc) logp.Message {
+	idx := p.bufHead
+	r := &e.recs[idx]
+	msg := r.msg
+	p.bufHead = r.next
+	if p.bufHead < 0 {
+		p.bufTail = -1
+	}
+	p.bufLen--
+	r.msg = logp.Message{}
+	r.next = e.recFree
+	e.recFree = idx
+	return msg
 }
 
 func (e *cycleEngine) exec(p *cycleProc) {
@@ -677,14 +984,18 @@ func (e *cycleEngine) exec(p *cycleProc) {
 		e.resume(p, cycleRes{})
 	case cycleBuffered:
 		n := int64(0)
-		for _, a := range p.buf {
-			if a.at > p.clock {
+		for idx := p.bufHead; idx >= 0; idx = e.recs[idx].next {
+			if e.recs[idx].at > p.clock {
 				break
 			}
 			n++
 		}
 		e.resume(p, cycleRes{n: n})
 	case cycleSend:
+		// Cycles that ended before this guest's parked clock can never
+		// be bumped or fan-in-queried again (see retireCols); return
+		// their columns to the pool before touching the window.
+		e.retireCols(p.clock / e.cycleLen)
 		s := p.clock + e.lp.O
 		if s < p.nextComm {
 			s = p.nextComm
@@ -698,31 +1009,30 @@ func (e *cycleEngine) exec(p *cycleProc) {
 		// stalling-rule execution (FIFO acceptance): for a stall-free
 		// cycle nothing changes, while a hot spot's excess messages
 		// arrive in later cycles instead of all at once.
-		if prior := e.cycleFanIn(cycle, req.msg.Dst); prior >= e.lp.Capacity() {
-			arrival += (prior - e.lp.Capacity() + 1) * e.lp.G
+		if prior := e.cycleFanIn(cycle, req.msg.Dst); prior >= e.capacity {
+			arrival += (prior - e.capacity + 1) * e.lp.G
 		}
 		e.countSend(cycle, req.msg)
 		e.totalMsgs++
 		e.seq++
-		heap.Push(&e.events, cycleEvent{time: arrival, seq: e.seq, msg: req.msg})
+		e.events.push(cycleEventRef{time: arrival, seq: e.seq, idx: e.newRec(req.msg)})
 		if arrival > e.guestTime {
 			e.guestTime = arrival
 		}
 		e.resume(p, cycleRes{})
 	case cycleRecv:
-		if len(p.buf) > 0 {
+		if p.bufLen > 0 {
 			e.completeRecv(p)
 		} else {
 			p.state = cycleWaitMsg
 		}
 	case cycleTryRecv:
-		if len(p.buf) > 0 && p.buf[0].at <= p.clock && p.nextComm <= p.clock {
-			head := p.buf[0]
-			p.buf = p.buf[1:]
+		if p.bufLen > 0 && e.recs[p.bufHead].at <= p.clock && p.nextComm <= p.clock {
 			r := p.clock
+			msg := e.popBufFree(p)
 			p.clock = r + e.lp.O
 			p.nextComm = r + e.lp.G
-			e.resume(p, cycleRes{msg: head.msg, ok: true})
+			e.resume(p, cycleRes{msg: msg, ok: true})
 		} else {
 			p.clock++
 			e.resume(p, cycleRes{})
@@ -733,34 +1043,45 @@ func (e *cycleEngine) exec(p *cycleProc) {
 }
 
 func (e *cycleEngine) completeRecv(p *cycleProc) {
-	head := p.buf[0]
-	p.buf = p.buf[1:]
 	r := p.clock
-	if head.at > r {
-		r = head.at
+	if at := e.recs[p.bufHead].at; at > r {
+		r = at
 	}
 	if p.nextComm > r {
 		r = p.nextComm
 	}
+	msg := e.popBufFree(p)
 	p.clock = r + e.lp.O
 	p.nextComm = r + e.lp.G
 	p.state = cycleReady
-	e.resume(p, cycleRes{msg: head.msg, ok: true})
+	e.resume(p, cycleRes{msg: msg, ok: true})
 }
 
 func (e *cycleEngine) deliverInstant(t int64) {
-	var wake []*cycleProc
+	wake := e.wake[:0]
 	for len(e.events) > 0 && e.events[0].time == t {
-		ev := heap.Pop(&e.events).(cycleEvent)
-		p := e.procs[ev.msg.Dst]
-		p.buf = append(p.buf, cycleArrived{msg: ev.msg, at: t})
+		ev := e.events.popMin()
+		dst := e.recs[ev.idx].msg.Dst
+		p := &e.procs[dst]
+		e.appendBuf(p, ev.idx, t)
 		if p.state == cycleWaitMsg {
-			wake = append(wake, p)
+			wake = append(wake, int32(dst))
 		}
 	}
-	sort.Slice(wake, func(i, j int) bool { return wake[i].id < wake[j].id })
-	for _, p := range wake {
-		if p.state == cycleWaitMsg && len(p.buf) > 0 {
+	// Guests wake in id order. The reduced medium delivers whole cycles
+	// at their boundary instant, so one instant's wake list is O(p) —
+	// a ring at p = 10^6 lands every message on the same boundary —
+	// and anything quadratic here (an insertion sort was 97% of the
+	// E14.p1m profile) dominates the replay. slices.Sort is in-place
+	// and allocation-free, so the cycle engine's 1-alloc-per-Run
+	// contract survives; duplicate ids (several messages for one
+	// waiting guest) stay adjacent either way, so the sorted sequence
+	// is exactly what the insertion sort produced.
+	slices.Sort(wake)
+	e.wake = wake
+	for _, id := range wake {
+		p := &e.procs[id]
+		if p.state == cycleWaitMsg && p.bufLen > 0 {
 			e.completeRecv(p)
 		}
 	}

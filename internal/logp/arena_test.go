@@ -1,0 +1,109 @@
+package logp
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The arena's contract has three load-bearing properties: records are
+// handed out densely in chunk order (the cache-friendly id-order
+// layout), reset re-hands the identical records in the identical order
+// without growing (positional reuse, which is what lets slow-path
+// channels survive across Runs), and a machine at its high-water size
+// allocates nothing. These tests pin each one directly on procArena,
+// below the engine.
+
+func TestArenaChunkGrowth(t *testing.T) {
+	var a procArena
+	const n = 2*(1<<procChunkBits) + 3
+	seen := make(map[*proc]bool, n)
+	for i := 0; i < n; i++ {
+		r := a.alloc()
+		if seen[r] {
+			t.Fatalf("alloc %d re-handed a live record", i)
+		}
+		seen[r] = true
+	}
+	if a.size() != n {
+		t.Fatalf("size() = %d after %d allocs", a.size(), n)
+	}
+	if len(a.chunks) != 3 {
+		t.Fatalf("%d allocs grew %d chunks, want 3", n, len(a.chunks))
+	}
+}
+
+// TestArenaDenseLayout checks records within a chunk are contiguous in
+// hand-out order: consecutive allocs sit exactly one record apart, so
+// an id-order sweep over a cold arena walks consecutive cache lines.
+func TestArenaDenseLayout(t *testing.T) {
+	var a procArena
+	prev := a.alloc()
+	for i := 1; i < 1<<procChunkBits; i++ {
+		cur := a.alloc()
+		if d := uintptr(unsafe.Pointer(cur)) - uintptr(unsafe.Pointer(prev)); d != unsafe.Sizeof(proc{}) {
+			t.Fatalf("alloc %d is %d bytes past its predecessor, want %d", i, d, unsafe.Sizeof(proc{}))
+		}
+		prev = cur
+	}
+}
+
+func TestArenaResetReuse(t *testing.T) {
+	var a procArena
+	const n = (1 << procChunkBits) + 17
+	first := make([]*proc, n)
+	for i := range first {
+		first[i] = a.alloc()
+	}
+	a.reset()
+	if a.size() != 0 {
+		t.Fatalf("size() = %d after reset, want 0", a.size())
+	}
+	chunks := len(a.chunks)
+	for i := range first {
+		if got := a.alloc(); got != first[i] {
+			t.Fatalf("post-reset alloc %d handed a different record", i)
+		}
+	}
+	if len(a.chunks) != chunks {
+		t.Fatalf("reset-then-realloc grew chunks %d -> %d", chunks, len(a.chunks))
+	}
+}
+
+// TestArenaFieldsSurviveReset pins the reuse contract ensureProc
+// depends on: a record's previous-run state — specifically the
+// slow-path rendezvous channels — is still there when the record is
+// re-handed, so repeated WithSlowPath runs reuse the channels instead
+// of remaking them.
+func TestArenaFieldsSurviveReset(t *testing.T) {
+	var a procArena
+	r := a.alloc()
+	ch := make(chan request)
+	r.req = ch
+	a.reset()
+	got := a.alloc()
+	if got != r {
+		t.Fatal("first post-reset record is not the first pre-reset record")
+	}
+	if got.req != ch {
+		t.Fatal("slow-path channel did not survive reset")
+	}
+}
+
+// TestArenaSteadyStateAllocs pins the arena's whole point: once at its
+// high-water size, a reset-and-refill cycle allocates nothing.
+func TestArenaSteadyStateAllocs(t *testing.T) {
+	var a procArena
+	const n = 3 * (1 << procChunkBits) / 2
+	for i := 0; i < n; i++ {
+		a.alloc()
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		a.reset()
+		for i := 0; i < n; i++ {
+			a.alloc()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state reset/refill allocates %.1f objects, want 0", avg)
+	}
+}

@@ -167,6 +167,12 @@ type Machine struct {
 	procs    []*proc
 	capacity int64 // params.Capacity(), cached off the per-instant path
 
+	// arena backs every proc record (see arena.go): chunked slabs
+	// reset wholesale between Runs, so a warm machine's startup sweep
+	// allocates no per-processor objects and the GC scans chunks, not
+	// a million individual procs.
+	arena procArena
+
 	// Scale-mode machinery (see lazy.go and script.go). script is the
 	// Script driving the current RunScript, curProg the Program of the
 	// current Run (for lazy coroutine instantiation), passiveStart the
@@ -194,8 +200,12 @@ type Machine struct {
 	// (clock, id); it replaces the per-step O(P) scan of the first
 	// engine version. A processor is in the heap exactly while its
 	// state is stateReady and the scheduler is not already committed
-	// to running it.
-	ready []*proc
+	// to running it. Entries are 16-byte (clock, id) values rather
+	// than *proc — a processor's clock only advances while it is out
+	// of the heap, so the copied key never goes stale, and the sift
+	// loops compare dense cache lines instead of chasing per-proc
+	// pointers.
+	ready []readyRef
 
 	pendingQ  [][]int32 // per destination: recSlab indices, FIFO by (subAt, src)
 	inTransit []int64   // per destination
@@ -554,9 +564,11 @@ func (m *Machine) commitLoop() error {
 				m.pushReady(p)
 				break
 			}
-			if len(m.ready) > 0 && procBefore(m.ready[0], p) {
-				p, m.ready[0] = m.ready[0], p
+			if len(m.ready) > 0 && readyBefore(m.ready[0], readyRef{clock: p.clock, id: int32(p.id)}) {
+				next := m.procs[m.ready[0].id]
+				m.ready[0] = readyRef{clock: p.clock, id: int32(p.id)}
 				m.siftDownReady()
+				p = next
 			}
 		}
 	}
@@ -574,19 +586,19 @@ func (m *Machine) reset() {
 	}
 	m.runs++
 	m.capacity = m.params.Capacity()
-	// Processor structs are materialized on demand (ensureProc): the
-	// startup sweeps create only the active ones, and recycled or
-	// previous-run structs wait in the pool.
+	// Processor records are materialized on demand (ensureProc) out of
+	// the arena: resetting it wholesale makes every record of the
+	// previous run reusable without freeing anything, so a warm
+	// machine's startup sweep re-hands the same chunk memory in the
+	// same order. The recycle freelist is emptied with it — its
+	// entries point into the arena being reset.
 	if len(m.procs) != p {
 		m.procs = make([]*proc, p)
 	} else {
-		for i, pr := range m.procs {
-			if pr != nil {
-				m.procs[i] = nil
-				m.procFree = append(m.procFree, pr)
-			}
-		}
+		clear(m.procs)
 	}
+	m.procFree = m.procFree[:0]
+	m.arena.reset()
 	m.startedBits = reuseWords(m.startedBits, (p+63)/64)
 	m.templateCount = 0
 	m.doneCount = 0
@@ -836,25 +848,32 @@ func (p *proc) advance() {
 	}
 }
 
-// procBefore orders the ready heap by (clock, id); the id tie-break
+// readyRef is one ready-heap entry: the (clock, id) scheduling key,
+// copied out of the proc at push time. The copy is sound because a
+// processor's clock only advances while it is out of the heap (inside
+// exec or blocked), so the key never goes stale.
+type readyRef struct {
+	clock int64
+	id    int32
+}
+
+// readyBefore orders the ready heap by (clock, id); the id tie-break
 // reproduces the old linear scan, which kept the lowest-id processor
 // among clock ties.
-func procBefore(a, b *proc) bool {
+func readyBefore(a, b readyRef) bool {
 	if a.clock != b.clock {
 		return a.clock < b.clock
 	}
 	return a.id < b.id
 }
 
-// pushReady inserts p into the ready heap. A processor's clock only
-// advances while it is out of the heap (inside exec or blocked), so
-// heap order never goes stale.
+// pushReady inserts p into the ready heap.
 func (m *Machine) pushReady(p *proc) {
-	h := append(m.ready, p)
+	h := append(m.ready, readyRef{clock: p.clock, id: int32(p.id)})
 	i := len(h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !procBefore(h[i], h[parent]) {
+		if !readyBefore(h[i], h[parent]) {
 			break
 		}
 		h[i], h[parent] = h[parent], h[i]
@@ -870,10 +889,9 @@ func (m *Machine) popReady() *proc {
 	top := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
-	h[n] = nil
 	m.ready = h[:n]
 	m.siftDownReady()
-	return top
+	return m.procs[top.id]
 }
 
 // siftDownReady restores the heap property after the root element was
@@ -886,10 +904,10 @@ func (m *Machine) siftDownReady() {
 	for {
 		l, r := 2*i+1, 2*i+2
 		min := i
-		if l < n && procBefore(h[l], h[min]) {
+		if l < n && readyBefore(h[l], h[min]) {
 			min = l
 		}
-		if r < n && procBefore(h[r], h[min]) {
+		if r < n && readyBefore(h[r], h[min]) {
 			min = r
 		}
 		if min == i {
@@ -1073,11 +1091,21 @@ func (m *Machine) processInstant(t int64) {
 				// collect merges it before the engine can execute p's
 				// next operation. The arrival is above p's dispatch
 				// watermark, so the frozen view never lies to the
-				// segment. bufLen itself cannot change while p runs, so
-				// bufLen plus the staged count is the depth the
-				// sequential engine would have recorded here.
-				p.parStage = append(p.parStage, ref.idx)
-				if d := p.bufLen + len(p.parStage); d > m.maxBuf {
+				// segment. Staged records chain intrusively through the
+				// slab's next field (unused between delivery and the
+				// input-FIFO append), so staging allocates nothing.
+				// bufLen itself cannot change while p runs, so bufLen
+				// plus the staged count is the depth the sequential
+				// engine would have recorded here.
+				rec.next = -1
+				if p.stageTail >= 0 {
+					m.recSlab[p.stageTail].next = ref.idx
+				} else {
+					p.stageHead = ref.idx
+				}
+				p.stageTail = ref.idx
+				p.stageLen++
+				if d := p.bufLen + int(p.stageLen); d > m.maxBuf {
 					m.maxBuf = d
 				}
 			} else {

@@ -39,8 +39,12 @@ func (m *Machine) started(id int) bool {
 	return m.startedBits[id>>6]&(1<<(uint(id)&63)) != 0
 }
 
-// ensureProc materializes processor id from the pool (or fresh) and
-// marks it started. The caller reinits it.
+// ensureProc materializes processor id and marks it started. Records
+// come from the recycle freelist first (a halted scripted processor's
+// record, warm in cache), then from the arena, which re-hands the
+// previous run's chunk memory before growing (see arena.go); either
+// way the caller reinits the record. Nothing here allocates once the
+// arena has reached the run's high-water record count.
 func (m *Machine) ensureProc(id int) *proc {
 	var p *proc
 	if n := len(m.procFree); n > 0 {
@@ -48,7 +52,8 @@ func (m *Machine) ensureProc(id int) *proc {
 		m.procFree[n-1] = nil
 		m.procFree = m.procFree[:n-1]
 	} else {
-		p = &proc{m: m}
+		p = m.arena.alloc()
+		p.m = m
 	}
 	p.id = id
 	m.procs[id] = p

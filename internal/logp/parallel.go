@@ -139,6 +139,20 @@ func (m *Machine) resetPar() {
 			stage:     make([][]*proc, shards),
 			recycleCh: make(chan []*proc, 2*shards),
 		}
+		// Pre-provision each shard's batch segments: one staged slice
+		// per shard plus a full recycle pool, so the steady-state
+		// dispatch path circulates these fixed segments instead of
+		// allocating fresh batch slices (flushShard's make is then the
+		// cold-start fallback only). Each segment is written by exactly
+		// one side at a time — the commit loop while staging, one
+		// worker while draining — so shards never contend on them.
+		e := m.par
+		for i := range e.stage {
+			e.stage[i] = make([]*proc, 0, parBatch)
+		}
+		for i := 0; i < cap(e.recycleCh); i++ {
+			e.recycleCh <- make([]*proc, 0, parBatch)
+		}
 	}
 	e := m.par
 	e.running = 0
@@ -180,7 +194,13 @@ func (m *Machine) startWorkers() {
 		n := (m.params.P - i + shards - 1) / shards // procs with id ≡ i mod shards
 		e.workCh[i] = make(chan []*proc, n/parBatch+1)
 	}
-	e.doneCh = make(chan *proc, m.params.P)
+	// doneCh must hold every processor (workers never block on it);
+	// at p = 10⁶ that is an 8 MB buffer, so it survives across Runs
+	// and is rebuilt only when P grows past its capacity. It is empty
+	// between Runs: shutdownParallel drains every in-flight segment.
+	if cap(e.doneCh) < m.params.P {
+		e.doneCh = make(chan *proc, m.params.P)
+	}
 	for i := range e.workCh {
 		e.wg.Add(1)
 		go parWorker(e.workCh[i], e.doneCh, e.recycleCh, &e.wg)
@@ -302,11 +322,15 @@ func (m *Machine) minRunning() (int64, int32, bool) {
 func (m *Machine) collect(p *proc) {
 	e := m.par
 	e.running--
-	if len(p.parStage) > 0 {
-		for _, idx := range p.parStage {
-			m.appendBuf(p, idx)
+	if p.stageHead >= 0 {
+		// Walk the staged chain in delivery order. appendBuf rewrites
+		// each record's next link, so the successor is read first.
+		for i := p.stageHead; i >= 0; {
+			next := m.recSlab[i].next
+			m.appendBuf(p, i)
+			i = next
 		}
-		p.parStage = p.parStage[:0]
+		p.stageHead, p.stageTail, p.stageLen = -1, -1, 0
 	}
 	if p.localOps != 0 {
 		m.simEvents += p.localOps
@@ -377,7 +401,7 @@ func (m *Machine) loopParallel() error {
 		}
 		if len(m.ready) > 0 {
 			cand := m.ready[0]
-			if bok && (bc < cand.clock || (bc == cand.clock && int(bid) < cand.id)) {
+			if bok && (bc < cand.clock || (bc == cand.clock && bid < cand.id)) {
 				e.flushAll()
 				m.collect(<-e.doneCh)
 				continue
@@ -429,6 +453,5 @@ func (m *Machine) shutdownParallel() {
 		e.workCh[i] = nil
 	}
 	e.wg.Wait()
-	e.doneCh = nil
 	e.started = false
 }

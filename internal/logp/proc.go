@@ -183,13 +183,15 @@ type proc struct {
 	// (never by the segment running on a shard worker). parBound is the
 	// clock this proc was dispatched at — a lower bound on where its
 	// next request can park. parSeq is the dispatch sequence number,
-	// used to order panic reports deterministically. parStage holds
-	// deliveries committed while the segment was in flight; collect
-	// merges them into the input FIFO before the engine acts on the
-	// proc again.
-	parBound int64
-	parSeq   int64
-	parStage []int32
+	// used to order panic reports deterministically. stageHead/stageTail
+	// chain deliveries committed while the segment was in flight through
+	// the record slab's next links (-1 when empty); collect merges them
+	// into the input FIFO before the engine acts on the proc again.
+	parBound  int64
+	parSeq    int64
+	stageHead int32
+	stageTail int32
+	stageLen  int32
 
 	// Slow path (WithSlowPath): the original per-op channel
 	// rendezvous, kept alive as a differential-testing oracle.
@@ -334,5 +336,5 @@ func (p *proc) reinit(slow bool) {
 	p.prefix = false
 	p.parBound = 0
 	p.parSeq = 0
-	p.parStage = p.parStage[:0]
+	p.stageHead, p.stageTail, p.stageLen = -1, -1, 0
 }

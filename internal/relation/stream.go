@@ -156,24 +156,37 @@ func (s HotSpotStream) Pair(src, k int) Pair {
 // permutation k, so the stream is pre-decomposed into h permutation
 // classes.
 type RandomRegularStream struct {
-	p, h  int
-	perms [][]int32
+	p, h int
+	// perms holds the h permutations in one flat backing, permutation
+	// k occupying [k*p, (k+1)*p): one allocation regardless of h, and
+	// Reset rewrites it in place for the next seed.
+	perms []int32
 }
 
 // NewRandomRegularStream draws the same h permutations as
 // RandomRegular(rng, p, h) would, so materializing it yields the same
 // pair multiset for the same rng state.
 func NewRandomRegularStream(rng *stats.RNG, p, h int) *RandomRegularStream {
-	s := &RandomRegularStream{p: p, h: h, perms: make([][]int32, h)}
-	for k := 0; k < h; k++ {
-		perm := rng.Perm(p)
-		compact := make([]int32, p)
-		for i, d := range perm {
-			compact[i] = int32(d)
-		}
-		s.perms[k] = compact
-	}
+	s := &RandomRegularStream{}
+	s.Reset(rng, p, h)
 	return s
+}
+
+// Reset redraws the stream in place: the same h permutations
+// NewRandomRegularStream would draw from rng, written into the
+// retained backing (grown only when p*h exceeds every prior shape).
+// Benchmark reps regenerate a p = 10^6 workload for each seed; Reset
+// lets them do so with zero steady-state allocation.
+func (s *RandomRegularStream) Reset(rng *stats.RNG, p, h int) {
+	s.p, s.h = p, h
+	need := p * h
+	if cap(s.perms) < need {
+		s.perms = make([]int32, need)
+	}
+	s.perms = s.perms[:need]
+	for k := 0; k < h; k++ {
+		rng.Perm32Into(s.perms[k*p:(k+1)*p], p)
+	}
 }
 
 func (s *RandomRegularStream) P() int                { return s.p }
@@ -182,5 +195,5 @@ func (s *RandomRegularStream) DstDegree(dst int) int { return s.h }
 func (s *RandomRegularStream) H() int                { return s.h }
 
 func (s *RandomRegularStream) Pair(src, k int) Pair {
-	return Pair{Src: src, Dst: int(s.perms[k][src])}
+	return Pair{Src: src, Dst: int(s.perms[k*s.p+src])}
 }

@@ -113,6 +113,22 @@ func (r *RNG) Perm(n int) []int {
 	return p
 }
 
+// Perm32Into fills out[:n] with a uniformly random permutation of
+// [0, n), drawing exactly the same generator stream as Perm(n) so the
+// two produce identical permutations from identical states. It exists
+// for the scale experiments, which redraw permutations every run into
+// a retained buffer instead of allocating a fresh []int.
+func (r *RNG) Perm32Into(out []int32, n int) {
+	p := out[:n]
+	for i := range p {
+		p[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
 // Shuffle applies a Fisher-Yates shuffle over n elements using swap.
 func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 	for i := n - 1; i > 0; i-- {
