@@ -11,8 +11,11 @@ test:
 	$(GO) test ./...
 
 # Static analysis: go vet plus the project's own go/analysis suite
-# (determinism, procshare, apidiscipline, costcharge — see DESIGN.md),
-# and a gofmt check. bsplogpvet exits 1 on any finding.
+# (determinism, procshare, apidiscipline, costcharge, and the
+# allocation-discipline pair allocdiscipline + hotloop, which correlate
+# the compiler's own escape verdicts from `go build -gcflags=-m` with
+# the //hot:path-annotated hot set — see DESIGN.md), and a gofmt check.
+# bsplogpvet exits 1 on any finding.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/bsplogpvet ./...

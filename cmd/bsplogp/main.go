@@ -57,7 +57,7 @@ func run(args []string, out, errOut io.Writer) int {
 		all        = fs.Bool("all", false, "run every experiment")
 		list       = fs.Bool("list", false, "list experiments and exit")
 		quick      = fs.Bool("quick", false, "shrink processor counts and trials")
-		scale      = fs.Bool("scale", false, "select the large-p scale experiments (E14/E15/E16 at p=10^4..10^6) instead of the regular suite; with -quick the p=10^6 entries are skipped and the rest run at p=10^5")
+		scale      = fs.Bool("scale", false, "select the large-p scale experiments (E14/E15/E16 at p=10^4..10^6, E17 at p=1024/2048) instead of the regular suite; with -quick the p=10^6 entries are skipped and the rest run at p=10^5")
 		seed       = fs.Uint64("seed", 1, "random seed")
 		parallel   = fs.Int("parallel", 0, "run the LogP engines on this many conservative-parallel shards (>= 2; 0 or 1 keeps the sequential engine); tables, traces, and audit reports are byte-identical either way")
 		doBench    = fs.Bool("bench", false, "benchmark experiments (all, or the one given by -experiment) and write a JSON report")

@@ -52,7 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	analyzers := analysis.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -62,6 +62,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	pkgs, err := kit.Load(".", patterns...)
 	if err != nil {
+		fmt.Fprintf(stderr, "bsplogpvet: %v\n", err)
+		return 2
+	}
+	// allocdiscipline correlates the compiler's escape verdicts with the
+	// hot set, so the load is followed by a -gcflags=-m capture (cheap:
+	// the build cache replays the diagnostics).
+	if err := kit.AttachEscapes(".", pkgs, patterns...); err != nil {
 		fmt.Fprintf(stderr, "bsplogpvet: %v\n", err)
 		return 2
 	}

@@ -61,7 +61,7 @@ func TestList(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "procshare", "apidiscipline", "costcharge"} {
+	for _, name := range []string{"determinism", "procshare", "apidiscipline", "costcharge", "allocdiscipline", "hotloop"} {
 		if !bytes.Contains(stdout.Bytes(), []byte(name)) {
 			t.Errorf("-list output is missing analyzer %q:\n%s", name, stdout.String())
 		}

@@ -1,0 +1,13 @@
+package allocdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/allocdiscipline"
+	"repro/internal/analysis/kit/kittest"
+)
+
+func TestAllocDiscipline(t *testing.T) {
+	kittest.Run(t, allocdiscipline.Analyzer,
+		"testdata/src/alloc_a", "testdata/src/alloc_clean")
+}

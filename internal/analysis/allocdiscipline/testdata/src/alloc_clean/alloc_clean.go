@@ -1,0 +1,63 @@
+// Package alloc_clean is the conforming fixture for allocdiscipline:
+// cold setup allocates freely, the hot path reuses pre-sized state,
+// panic messages are exempt, and the one deliberate hot allocation
+// carries an annotated exception.
+package alloc_clean
+
+import "fmt"
+
+// engine holds pre-sized steady-state buffers, arena style.
+type engine struct {
+	slots []int
+	order []int
+	warm  []int
+}
+
+// reset is per-Run setup: it may allocate, and the hot set does not
+// propagate through it.
+//
+//hot:cold per-Run setup
+func (e *engine) reset(p int) {
+	e.slots = make([]int, p)
+	e.order = make([]int, 0, p)
+}
+
+// step is the steady-state loop: index-addressed writes into the
+// buffers reset sized, no escapes.
+//
+//hot:path per-event step loop
+func (e *engine) step(events []int) int {
+	total := 0
+	for i, ev := range events {
+		if ev < 0 {
+			panic(fmt.Sprintf("negative event %d at %d", ev, i)) // panic messages are exempt
+		}
+		if ev > 1<<20 {
+			e.spill(ev) // a cold branch: spill's escape is not re-attributed here
+		}
+		e.slots[i%len(e.slots)] = ev
+		total += ev
+	}
+	return total
+}
+
+// spill is a cold branch reachable from the hot loop: marked
+// //hot:cold, its allocation is exempt, and the compiler's inlined
+// re-report at step's call site is skipped as a call-site
+// re-attribution.
+//
+//hot:cold overflow branch, entered at most once per run
+func (e *engine) spill(ev int) {
+	e.order = append(e.order, ev)
+}
+
+// warmup is hot but grows a cache exactly once per machine lifetime;
+// the exception documents why the escape is sound.
+//
+//hot:path first-event warm-up
+func (e *engine) warmup(n int) {
+	if e.warm == nil {
+		//lint:ignore allocdiscipline one-time warm-up allocation, amortized over the machine lifetime
+		e.warm = make([]int, n)
+	}
+}

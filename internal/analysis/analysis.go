@@ -9,9 +9,11 @@
 package analysis
 
 import (
+	"repro/internal/analysis/allocdiscipline"
 	"repro/internal/analysis/apidiscipline"
 	"repro/internal/analysis/costcharge"
 	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/hotloop"
 	"repro/internal/analysis/kit"
 	"repro/internal/analysis/procshare"
 )
@@ -23,5 +25,7 @@ func All() []*kit.Analyzer {
 		procshare.Analyzer,
 		apidiscipline.Analyzer,
 		costcharge.Analyzer,
+		allocdiscipline.Analyzer,
+		hotloop.Analyzer,
 	}
 }

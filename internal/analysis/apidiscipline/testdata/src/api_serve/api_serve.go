@@ -1,0 +1,68 @@
+// Package api_serve is the failing fixture for the apidiscipline
+// analyzer's serve-lifecycle rules: job submission after a drain has
+// begun, and result-body writes outside the runJob commit. The
+// Submit/Drain cases exercise the real serve API; the body-write cases
+// use a local structural model (type Job, field body, commit method
+// runJob), which is exactly what the analyzer matches so that the rule
+// can be demonstrated from outside package serve, where the real field
+// is unexported.
+package api_serve
+
+import "repro/internal/serve"
+
+func lateSubmit(p *serve.Pool) {
+	p.Drain()
+	p.Submit(serve.JobSpec{ID: "E6", Quick: true}) // want `Submit after Drain/BeginDrain`
+}
+
+func lateSubmitAfterBegin(s *serve.Server, p *serve.Pool) {
+	s.BeginDrain()
+	if _, err := p.Submit(serve.JobSpec{ID: "E6"}); err != nil { // want `Submit after Drain/BeginDrain`
+		return
+	}
+}
+
+// deferredDrainIsFine is the conforming shape: a deferred drain runs at
+// function exit, so submissions after it in source order are sound.
+func deferredDrainIsFine(p *serve.Pool) {
+	defer p.Drain()
+	if _, err := p.Submit(serve.JobSpec{ID: "E6"}); err != nil {
+		return
+	}
+}
+
+// submitThenDrain is the conforming order.
+func submitThenDrain(p *serve.Pool) {
+	if _, err := p.Submit(serve.JobSpec{ID: "E6"}); err != nil {
+		return
+	}
+	p.Drain()
+}
+
+// Job and Pool model the serve job shape the body-write rule matches
+// structurally: a type named Job with a body field, committed only by
+// a method named runJob.
+type Job struct {
+	state int
+	body  []byte
+}
+
+// Pool models the owning pool. (It has no Submit/Drain methods, so the
+// lifecycle rule ignores it.)
+type Pool struct{ jobs []*Job }
+
+// runJob is the sanctioned commit site: the one place a result body is
+// stored.
+func (p *Pool) runJob(j *Job) {
+	j.state = 1
+	j.body = []byte("{\"rows\":0}\n")
+}
+
+func (p *Pool) hijackResult(j *Job) {
+	j.body = append(j.body, '\n') // want `Job result body written outside runJob`
+}
+
+func retryInline(j *Job) {
+	j.state = 2
+	j.body = nil // want `Job result body written outside runJob`
+}

@@ -1,0 +1,13 @@
+package hotloop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/hotloop"
+	"repro/internal/analysis/kit/kittest"
+)
+
+func TestHotLoop(t *testing.T) {
+	kittest.Run(t, hotloop.Analyzer,
+		"testdata/src/hot_a", "testdata/src/hot_clean")
+}

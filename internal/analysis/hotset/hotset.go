@@ -1,0 +1,322 @@
+// Package hotset computes the annotated hot set an allocation-
+// discipline analyzer reasons over: the functions reachable, within one
+// package, from the functions marked as steady-state hot roots.
+//
+// The annotation grammar is two whole-line doc-comment directives:
+//
+//	//hot:path [note]   the function is a hot root: it runs on the
+//	                    per-event steady-state path (an engine step
+//	                    loop, a commit loop, a Script transition), and
+//	                    everything it reaches is hot too.
+//	//hot:cold [note]   the function is excluded from the hot set even
+//	                    when reachable from a root (per-Run setup or
+//	                    epilogue: reset, shutdown, error paths), and
+//	                    reachability does not propagate through it.
+//
+// Hotness propagates through same-package static calls and function
+// references: any function whose identifier appears in a hot body is
+// hot (a conservative over-approximation — a reference taken on the hot
+// path is assumed callable from it). Function literals inside a hot
+// body are part of that body's span and therefore hot by position.
+// Dynamic dispatch through interfaces does not propagate; concrete
+// implementations meant to be hot (Script engines' transition methods)
+// carry their own //hot:path mark.
+package hotset
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/kit"
+)
+
+// A HotFunc is one function in the hot set with the root that pulled it
+// in (Root == the function's own name for annotated roots).
+type HotFunc struct {
+	Decl *ast.FuncDecl
+	Name string
+	Root string
+}
+
+// An Issue is a problem with the annotation grammar itself (an unknown
+// //hot: directive, or one not attached to a function declaration).
+type Issue struct {
+	Pos token.Pos
+	Msg string
+}
+
+// A Set is the computed hot set of one package.
+type Set struct {
+	funcs  []HotFunc
+	issues []Issue
+
+	// spans are the hot function body ranges, for position queries
+	// against compiler diagnostics.
+	spans []span
+	// panicSpans are the full ranges of panic(...) calls inside hot
+	// bodies: allocations that only feed a panic message are not
+	// steady-state costs.
+	panicSpans []posRange
+	// namedCallSpans are the ranges of calls to declared functions
+	// inside hot bodies. The compiler re-reports an inlined callee's
+	// escapes once per inlining context, positioned at the call site;
+	// such diagnostics are judged at the callee's own body instead.
+	namedCallSpans []posRange
+	// rangeFuncSpans are the `for ... range f(...)` headers of
+	// range-over-func statements in hot bodies. The desugared body
+	// closure and its captures are attributed to the `for` keyword by
+	// the compiler even though every inlined use stack-allocates them.
+	rangeFuncSpans []posRange
+}
+
+type span struct {
+	posRange
+	fn, root string
+}
+
+type posRange struct {
+	start, end token.Pos
+}
+
+func (r posRange) contains(p token.Pos) bool { return p >= r.start && p <= r.end }
+
+// Funcs returns the hot functions in source order.
+func (s *Set) Funcs() []HotFunc { return s.funcs }
+
+// Issues returns the annotation-grammar problems found while computing
+// the set.
+func (s *Set) Issues() []Issue { return s.issues }
+
+// FuncAt returns the hot function whose body contains pos.
+func (s *Set) FuncAt(pos token.Pos) (fn, root string, ok bool) {
+	if !pos.IsValid() {
+		return "", "", false
+	}
+	for _, sp := range s.spans {
+		if sp.contains(pos) {
+			return sp.fn, sp.root, true
+		}
+	}
+	return "", "", false
+}
+
+// InPanicArg reports whether pos falls inside a panic(...) call in a
+// hot body.
+func (s *Set) InPanicArg(pos token.Pos) bool { return within(s.panicSpans, pos) }
+
+// InNamedCall reports whether pos falls inside a call to a declared
+// function in a hot body — the position at which the compiler
+// re-reports an inlined callee's escapes.
+func (s *Set) InNamedCall(pos token.Pos) bool { return within(s.namedCallSpans, pos) }
+
+// InRangeOverFunc reports whether pos falls on the header of a
+// range-over-func statement in a hot body.
+func (s *Set) InRangeOverFunc(pos token.Pos) bool { return within(s.rangeFuncSpans, pos) }
+
+func within(spans []posRange, pos token.Pos) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	for _, r := range spans {
+		if r.contains(pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// Compute builds the package's hot set from its //hot: annotations.
+func Compute(pass *kit.Pass) *Set {
+	s := &Set{}
+
+	// Index every function declaration by its object, and read the
+	// //hot: marks off the doc comments.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	cold := map[*ast.FuncDecl]bool{}
+	var roots []*ast.FuncDecl
+	marked := map[*ast.CommentGroup]bool{}
+	for _, file := range pass.Files() {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pass.ObjectOf(fd.Name).(*types.Func); ok {
+				decls[obj] = fd
+			}
+			switch hotMark(fd.Doc, s) {
+			case "path":
+				roots = append(roots, fd)
+			case "cold":
+				cold[fd] = true
+			}
+			if fd.Doc != nil {
+				marked[fd.Doc] = true
+			}
+		}
+	}
+	// Any //hot: directive outside a function's doc comment is a
+	// grammar error: it would silently mark nothing.
+	for _, file := range pass.Files() {
+		for _, group := range file.Comments {
+			if marked[group] {
+				continue
+			}
+			for _, c := range group.List {
+				if strings.HasPrefix(c.Text, "//hot:") {
+					s.issues = append(s.issues, Issue{
+						Pos: c.Pos(),
+						Msg: "//hot: directive must be in a function declaration's doc comment",
+					})
+				}
+			}
+		}
+	}
+
+	// Reachability: breadth-first over same-package function references
+	// in hot bodies, stopping at //hot:cold.
+	hot := map[*ast.FuncDecl]string{} // decl -> root name
+	var queue []*ast.FuncDecl
+	for _, r := range roots {
+		if !cold[r] {
+			hot[r] = funcName(r)
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		root := hot[fd]
+		ast.Inspect(fd, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.ObjectOf(id).(*types.Func)
+			if !ok || obj.Pkg() != pass.TypesPkg() {
+				return true
+			}
+			callee, ok := decls[obj]
+			if !ok || cold[callee] {
+				return true
+			}
+			if _, seen := hot[callee]; !seen {
+				hot[callee] = root
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	// Materialize spans and the panic-argument exemption ranges, in
+	// source order.
+	for _, file := range pass.Files() {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			root, isHot := hot[fd]
+			if !isHot || fd.Body == nil {
+				continue
+			}
+			name := funcName(fd)
+			s.funcs = append(s.funcs, HotFunc{Decl: fd, Name: name, Root: root})
+			s.spans = append(s.spans, span{
+				posRange: posRange{fd.Body.Pos(), fd.Body.End()},
+				fn:       name, root: root,
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					if t := pass.TypeOf(n.X); t != nil {
+						if _, isFunc := t.Underlying().(*types.Signature); isFunc {
+							s.rangeFuncSpans = append(s.rangeFuncSpans,
+								posRange{n.For, n.X.End()})
+						}
+					}
+				case *ast.CallExpr:
+					if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" && len(n.Args) > 0 {
+						if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin {
+							s.panicSpans = append(s.panicSpans,
+								posRange{n.Pos(), n.End()})
+							return true
+						}
+					}
+					var callee *ast.Ident
+					switch fun := n.Fun.(type) {
+					case *ast.Ident:
+						callee = fun
+					case *ast.SelectorExpr:
+						callee = fun.Sel
+					}
+					if callee != nil {
+						if _, isFunc := pass.ObjectOf(callee).(*types.Func); isFunc {
+							s.namedCallSpans = append(s.namedCallSpans,
+								posRange{n.Pos(), n.End()})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return s
+}
+
+// hotMark extracts the //hot: mark from a doc comment ("path", "cold",
+// or ""), recording grammar issues on s.
+func hotMark(doc *ast.CommentGroup, s *Set) string {
+	if doc == nil {
+		return ""
+	}
+	mark := ""
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//hot:")
+		if !ok {
+			continue
+		}
+		verb := rest
+		if i := strings.IndexAny(rest, " \t"); i >= 0 {
+			verb = rest[:i]
+		}
+		switch verb {
+		case "path", "cold":
+			if mark != "" && mark != verb {
+				s.issues = append(s.issues, Issue{
+					Pos: c.Pos(),
+					Msg: "conflicting //hot: directives on one function",
+				})
+			}
+			mark = verb
+		default:
+			s.issues = append(s.issues, Issue{
+				Pos: c.Pos(),
+				Msg: "unknown //hot: directive (want //hot:path or //hot:cold)",
+			})
+		}
+	}
+	return mark
+}
+
+// funcName renders a method as Recv.Name and a function as Name.
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	if ix, ok := t.(*ast.IndexExpr); ok {
+		if id, ok := ix.X.(*ast.Ident); ok {
+			return id.Name + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}

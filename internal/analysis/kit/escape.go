@@ -1,0 +1,114 @@
+package kit
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// An Escape is one allocation-relevant diagnostic from the compiler's
+// own escape analysis (`go build -gcflags=-m`), mapped onto a loaded
+// package's source positions. The kit deliberately does not reimplement
+// escape analysis: gc's verdicts are the ground truth the allocation
+// guards (AllocsPerRun) observe at run time, so the static layer
+// correlates those verdicts with the annotated hot set instead of
+// approximating them.
+type Escape struct {
+	File    string
+	Line    int
+	Col     int
+	Message string
+}
+
+// AttachEscapes compiles the given patterns with `-gcflags=-m` and
+// attaches every allocation-relevant diagnostic (values escaping to the
+// heap, variables moved to the heap) to the loaded package owning its
+// file. dir and patterns must match the Load call that produced pkgs,
+// so positions resolve against the same files.
+//
+// The bare -gcflags applies only to the packages named on the command
+// line, so dependencies are neither recompiled with -m nor reported;
+// and because go's build cache replays compiler diagnostics, repeated
+// runs cost a cache probe, not a rebuild. Diagnostics whose file is not
+// part of any loaded package (std-lib positions surfaced by inlining)
+// are dropped, and duplicates — the compiler reports an escape once per
+// inlining context — are collapsed.
+func AttachEscapes(dir string, pkgs []*Package, patterns ...string) error {
+	if len(pkgs) == 0 {
+		return nil
+	}
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stdout = io.Discard
+	var errb bytes.Buffer
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go build -gcflags=-m %s: %v\n%s",
+			strings.Join(patterns, " "), err, errb.String())
+	}
+
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return err
+	}
+	byFile := map[string]*Package{}
+	for _, pkg := range pkgs {
+		for name := range pkg.src {
+			byFile[name] = pkg
+		}
+	}
+
+	seen := map[Escape]bool{}
+	for _, raw := range strings.Split(errb.String(), "\n") {
+		file, line, col, msg, ok := parseDiagLine(raw)
+		if !ok || !allocRelevant(msg) {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(absDir, file)
+		}
+		file = filepath.Clean(file)
+		pkg, owned := byFile[file]
+		if !owned {
+			continue
+		}
+		e := Escape{File: file, Line: line, Col: col, Message: msg}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		pkg.Escapes = append(pkg.Escapes, e)
+	}
+	return nil
+}
+
+// parseDiagLine splits a compiler diagnostic of the form
+// "path:line:col: message".
+func parseDiagLine(s string) (file string, line, col int, msg string, ok bool) {
+	s = strings.TrimSpace(s)
+	if s == "" || strings.HasPrefix(s, "#") {
+		return "", 0, 0, "", false
+	}
+	parts := strings.SplitN(s, ":", 4)
+	if len(parts) != 4 {
+		return "", 0, 0, "", false
+	}
+	line, err1 := strconv.Atoi(parts[1])
+	col, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		return "", 0, 0, "", false
+	}
+	return parts[0], line, col, strings.TrimSpace(parts[3]), true
+}
+
+// allocRelevant keeps the -m output that implies a heap allocation;
+// inlining chatter ("can inline", "inlining call to") is dropped.
+func allocRelevant(msg string) bool {
+	return strings.Contains(msg, "escapes to heap") ||
+		strings.Contains(msg, "moved to heap")
+}

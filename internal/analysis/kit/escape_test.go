@@ -1,0 +1,105 @@
+package kit_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/hotset"
+	"repro/internal/analysis/kit"
+)
+
+// TestEscapePositionMapping pins the full diagnostic→source mapping
+// chain the allocation analyzers depend on: Load honors build
+// constraints and skips _test.go files, AttachEscapes attaches the
+// compiler's verdicts to the loaded files at their exact lines, PosFor
+// maps a diagnostic's (file, line, col) back onto a token.Pos, and the
+// hot set resolves that position to the annotated root. The fixture
+// plants identical decoy escapes behind a build tag and in a test
+// file; neither may surface anywhere in the chain.
+func TestEscapePositionMapping(t *testing.T) {
+	pkgs, err := kit.Load(".", "./testdata/src/esc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1: the build-tagged and _test.go decoys must be excluded", len(pkg.Files))
+	}
+	if err := kit.AttachEscapes(".", pkgs, "./testdata/src/esc"); err != nil {
+		t.Fatal(err)
+	}
+
+	escFile, err := filepath.Abs(filepath.Join("testdata", "src", "esc", "esc.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(escFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLine := 0
+	for i, l := range strings.Split(string(src), "\n") {
+		if strings.Contains(l, "ESCAPE:") {
+			wantLine = i + 1
+		}
+	}
+	if wantLine == 0 {
+		t.Fatal("fixture lost its ESCAPE marker")
+	}
+
+	var atMarker []kit.Escape
+	for _, e := range pkg.Escapes {
+		if filepath.Clean(e.File) != filepath.Clean(escFile) {
+			t.Errorf("escape attached to %s: only esc.go is loaded", e.File)
+			continue
+		}
+		if e.Line == wantLine {
+			atMarker = append(atMarker, e)
+		}
+	}
+	if len(atMarker) == 0 {
+		t.Fatalf("no escape on esc.go:%d (the ESCAPE marker line); attached: %v", wantLine, pkg.Escapes)
+	}
+
+	// The downstream half of the chain: the diagnostic position maps
+	// back into the file set and lands inside the one annotated root.
+	var roots []string
+	var mappedFn, mappedRoot string
+	probe := &kit.Analyzer{
+		Name: "escprobe",
+		Doc:  "test analyzer: map escape positions into the hot set",
+		Run: func(pass *kit.Pass) {
+			set := hotset.Compute(pass)
+			for _, is := range set.Issues() {
+				t.Errorf("hot-set grammar issue in fixture: %s", is.Msg)
+			}
+			for _, f := range set.Funcs() {
+				roots = append(roots, f.Name)
+			}
+			for _, e := range atMarker {
+				pos := pass.PosFor(e.File, e.Line, e.Col)
+				if pos == token.NoPos {
+					t.Errorf("PosFor(%s:%d:%d) = NoPos, want a position in the loaded file", e.File, e.Line, e.Col)
+					continue
+				}
+				if fn, root, ok := set.FuncAt(pos); ok {
+					mappedFn, mappedRoot = fn, root
+				}
+			}
+		},
+	}
+	kit.RunAnalyzers(pkgs, []*kit.Analyzer{probe})
+
+	if len(roots) != 1 || roots[0] != "Leak" {
+		t.Errorf("hot set = %v, want [Leak]: build-tagged and _test.go roots must stay invisible", roots)
+	}
+	if mappedFn != "Leak" || mappedRoot != "Leak" {
+		t.Errorf("escape mapped to fn=%q root=%q, want Leak/Leak", mappedFn, mappedRoot)
+	}
+}

@@ -97,6 +97,25 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return nil
 }
 
+// PosFor maps a (file, line, col) triple — the shape of a compiler
+// diagnostic — back onto a token.Pos in the package's file set, or
+// token.NoPos when the file is not part of this package or the line is
+// out of range. Columns are byte offsets from 1, matching both the
+// go/token and the gc diagnostic conventions.
+func (p *Pass) PosFor(filename string, line, col int) token.Pos {
+	pos := token.NoPos
+	p.Pkg.Fset.Iterate(func(f *token.File) bool {
+		if f.Name() != filename {
+			return true
+		}
+		if line >= 1 && line <= f.LineCount() {
+			pos = f.LineStart(line) + token.Pos(col-1)
+		}
+		return false
+	})
+	return pos
+}
+
 // Reportf records a finding at pos. Suppression by //lint:ignore
 // directives happens in the runner so that every analyzer gets it for
 // free and directives are honored identically by the CLI driver and the
@@ -116,18 +135,24 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // applies //lint:ignore suppression, and returns the surviving
 // findings sorted by position. Malformed directives (no reason, or
 // naming no known analyzer) are themselves findings, so an exception
-// cannot silently rot.
+// cannot silently rot — and so are stale ones: a well-formed directive
+// that suppressed nothing, even though every analyzer it names actually
+// ran on its package, marks an exception whose underlying finding has
+// been fixed and whose annotation should be dropped.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	known := map[string]bool{"bsplogpvet": true}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	ran := map[*Package]map[string]bool{}
 	for _, pkg := range pkgs {
+		ran[pkg] = map[string]bool{}
 		for _, a := range analyzers {
 			if !a.InScope(pkg.PkgPath) {
 				continue
 			}
+			ran[pkg][a.Name] = true
 			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
 			a.Run(pass)
 		}
@@ -151,7 +176,23 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 	}
-	diags = suppress(pkgs, diags)
+	var used map[string]bool
+	diags, used = suppress(pkgs, diags)
+	for _, pkg := range pkgs {
+		for _, dir := range pkg.Directives {
+			if dir.Reason == "" || !staleCheckable(dir, ran[pkg]) {
+				continue
+			}
+			if !used[dirKey(dir)] {
+				diags = append(diags, Diagnostic{
+					Analyzer: "directive",
+					File:     dir.File, Line: dir.Line, Col: dir.Col,
+					Message: fmt.Sprintf("stale //lint:ignore: no %s finding on its lines; drop the exception",
+						strings.Join(dir.Checks, ",")),
+				})
+			}
+		}
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -170,8 +211,10 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 
 // suppress drops findings covered by a //lint:ignore directive. A
 // directive covers its own line and, when it stands alone on a line,
-// the next line — the staticcheck placement conventions.
-func suppress(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+// the next line — the staticcheck placement conventions. The second
+// return value records, by dirKey, which directives suppressed at least
+// one finding; RunAnalyzers uses it for the stale-directive check.
+func suppress(pkgs []*Package, diags []Diagnostic) ([]Diagnostic, map[string]bool) {
 	type key struct {
 		file string
 		line int
@@ -188,6 +231,7 @@ func suppress(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 			}
 		}
 	}
+	used := map[string]bool{}
 	var kept []Diagnostic
 	for _, d := range diags {
 		if d.Analyzer == "directive" {
@@ -199,6 +243,7 @@ func suppress(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 			for _, name := range dir.Checks {
 				if name == d.Analyzer || name == "bsplogpvet" {
 					hit = true
+					used[dirKey(dir)] = true
 				}
 			}
 		}
@@ -206,5 +251,30 @@ func suppress(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 			kept = append(kept, d)
 		}
 	}
-	return kept
+	return kept, used
+}
+
+// dirKey identifies a directive by position for the stale check.
+func dirKey(dir Directive) string {
+	return fmt.Sprintf("%s:%d:%d", dir.File, dir.Line, dir.Col)
+}
+
+// staleCheckable reports whether the stale check may judge dir: every
+// analyzer it names must actually have run on the package (an ignore
+// for an analyzer outside its scope, or absent from a single-analyzer
+// fixture run, is not evidence of staleness). The suite-wide
+// "bsplogpvet" name is checkable whenever any analyzer ran.
+func staleCheckable(dir Directive, ran map[string]bool) bool {
+	if len(ran) == 0 {
+		return false
+	}
+	for _, name := range dir.Checks {
+		if name == "bsplogpvet" {
+			continue
+		}
+		if !ran[name] {
+			return false
+		}
+	}
+	return true
 }

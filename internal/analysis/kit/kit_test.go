@@ -66,6 +66,44 @@ func TestDirectiveSemantics(t *testing.T) {
 	}
 }
 
+// TestStaleDirective locks the stale-exception semantics: a reasoned
+// directive is flagged only when every analyzer it names ran on the
+// package and it still suppressed nothing.
+func TestStaleDirective(t *testing.T) {
+	pkgs, err := kit.Load(".", "./testdata/src/stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// otheranalyzer is known but scoped away from the fixture, so the
+	// directive naming it is not judged for staleness.
+	other := &kit.Analyzer{
+		Name:  "otheranalyzer",
+		Doc:   "test analyzer: never runs on the stale fixture",
+		Scope: []string{"repro/never/matches"},
+		Run:   func(*kit.Pass) {},
+	}
+	diags := kit.RunAnalyzers(pkgs, []*kit.Analyzer{varflag, other})
+
+	var stale, directive, varflags int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "directive" && strings.Contains(d.Message, "stale"):
+			stale++
+			if d.Line != 6 {
+				t.Errorf("stale finding on line %d, want 6: %s", d.Line, d)
+			}
+		case d.Analyzer == "directive":
+			directive++
+		case d.Analyzer == "varflag":
+			varflags++
+		}
+	}
+	if stale != 1 || directive != 0 || varflags != 0 {
+		t.Errorf("got stale=%d directive=%d varflag=%d, want 1/0/0\n%v",
+			stale, directive, varflags, diags)
+	}
+}
+
 func TestScope(t *testing.T) {
 	a := &kit.Analyzer{Scope: []string{"repro/internal/bench", "repro/examples"}}
 	for path, want := range map[string]bool{

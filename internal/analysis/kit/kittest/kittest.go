@@ -34,6 +34,12 @@ func Run(t *testing.T, analyzer *kit.Analyzer, fixtures ...string) {
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", fixture, err)
 		}
+		// Fixtures get the compiler's escape verdicts attached exactly as
+		// the bsplogpvet driver attaches them, so escape-correlating
+		// analyzers (allocdiscipline) are testable under the same harness.
+		if err := kit.AttachEscapes(".", pkgs, "./"+fixture); err != nil {
+			t.Fatalf("escape capture for fixture %s: %v", fixture, err)
+		}
 		unscoped := *analyzer
 		unscoped.Scope = nil
 		diags := kit.RunAnalyzers(pkgs, []*kit.Analyzer{&unscoped})

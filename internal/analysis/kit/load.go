@@ -27,6 +27,10 @@ type Package struct {
 	Info       *types.Info
 	Directives []Directive
 
+	// Escapes holds the compiler's allocation-relevant diagnostics for
+	// this package's files, filled by AttachEscapes (empty until then).
+	Escapes []Escape
+
 	// src keeps the raw bytes of each parsed file (keyed by filename)
 	// so directive placement can distinguish an end-of-line comment
 	// from one standing alone on its line.

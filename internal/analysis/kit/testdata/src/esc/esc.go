@@ -1,0 +1,17 @@
+// Package esc is the position-mapping fixture for the kit's escape
+// capture: one known escape in a normal hot function, plus decoy
+// escapes in a build-tag-excluded file and in a _test.go file. Only
+// this file's escape may attach, and only this file's //hot:path root
+// may enter the hot set.
+package esc
+
+// Sink keeps the escape observable at every optimization level.
+var Sink *int
+
+// Leak carries the one escape the mapping test expects.
+//
+//hot:path fixture root
+func Leak() {
+	x := new(int) // ESCAPE: the expected diagnostic line
+	Sink = x
+}

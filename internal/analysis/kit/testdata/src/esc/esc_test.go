@@ -1,0 +1,15 @@
+package esc
+
+// Test files are never loaded by the kit (bsplogpvet analyzes shipped
+// simulator code; tests poke engine internals on purpose), so this hot
+// root and its escape are decoys that must stay invisible.
+
+var testSink *int
+
+// testLeak is a decoy: a hot root declared in a _test.go file.
+//
+//hot:path decoy root in a test file
+func testLeak() {
+	x := new(int)
+	testSink = x
+}

@@ -1,0 +1,16 @@
+//go:build esc_fixture_excluded
+
+// This file is excluded by its build tag: go list does not surface it,
+// so its escape must never attach and its hot root must never load.
+package esc
+
+// TaggedSink mirrors Sink for the excluded decoy.
+var TaggedSink *int
+
+// TaggedLeak is a decoy: identical shape to Leak, invisible to the kit.
+//
+//hot:path decoy root in a build-tag-excluded file
+func TaggedLeak() {
+	x := new(int)
+	TaggedSink = x
+}

@@ -1,0 +1,12 @@
+// Package stale exercises the stale-directive finding: a well-formed,
+// reasoned //lint:ignore whose analyzer ran on the package but reported
+// nothing on the directive's lines.
+package stale
+
+//lint:ignore varflag this exception outlived its finding
+var plainVar int
+
+var flagLive int //lint:ignore varflag a live exception: it suppresses the finding on this line
+
+//lint:ignore otheranalyzer not judged when the named analyzer did not run
+var alsoPlain int

@@ -30,24 +30,34 @@ func E9RadixSkew(cfg Config) *Table {
 	params := logp.Params{P: pCount, L: 16, O: 1, G: 4}
 	const keyRange = 1 << 16
 	for _, skew := range []int{0, 50, 90, 99} {
-		rng := stats.NewRNG(cfg.Seed + uint64(skew))
-		keys := make([][]int64, pCount)
-		for i := range keys {
-			keys[i] = make([]int64, perProc)
-			for j := range keys[i] {
-				if rng.Intn(100) < skew {
-					keys[i][j] = int64(rng.Uint64n(keyRange / uint64(pCount)))
-				} else {
-					keys[i][j] = int64(rng.Uint64n(keyRange))
-				}
-			}
-		}
+		keys := skewedKeys(cfg.Seed, pCount, perProc, skew, keyRange)
 		res, err := logp.NewMachine(params, logp.WithDeliveryPolicy(logp.DeliverMinLatency), logp.WithSeed(cfg.Seed), logp.WithShards(cfg.Shards)).
 			Run(bucketSortProgram(keys, keyRange))
 		must(err)
 		t.AddRow(pCount, pCount*perProc, skew, res.Time, res.StallEvents, res.StallCycles, res.MaxBufferDepth)
 	}
 	return t
+}
+
+// skewedKeys draws the E9/E17 key sets: perProc keys per processor in
+// [0, keyRange), with skew percent of them concentrated in the first
+// 1/p-th of the range (processor 0's bucket). The rng is seeded
+// seed+skew, exactly the E9 historical draw, so the golden tables are
+// unchanged by the extraction.
+func skewedKeys(seed uint64, p, perProc, skew, keyRange int) [][]int64 {
+	rng := stats.NewRNG(seed + uint64(skew))
+	keys := make([][]int64, p)
+	for i := range keys {
+		keys[i] = make([]int64, perProc)
+		for j := range keys[i] {
+			if rng.Intn(100) < skew {
+				keys[i][j] = int64(rng.Uint64n(uint64(keyRange) / uint64(p)))
+			} else {
+				keys[i][j] = int64(rng.Uint64n(uint64(keyRange)))
+			}
+		}
+	}
+	return keys
 }
 
 // bucketSortProgram is the one-pass MSD bucket redistribution: count,
@@ -91,6 +101,139 @@ func bucketSortProgram(keys [][]int64, keyRange int) logp.Program {
 		}
 		sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
 		pr.Compute(int64(len(local)) * 6)
+	}
+}
+
+// bucketSortScript is bucketSortProgram in logp.Script form — the
+// sorting-based workload ported to the coroutine-free scale engines
+// (the ROADMAP remainder from the scale-mode PR). Next issues exactly
+// the operation sequence the Program form's Proc calls produce, so
+// RunScript(newBucketSortScript(keys, r)) is byte-identical to
+// Run(bucketSortProgram(keys, r)) on the native engine and to the
+// Theorem 1 cycle replay on both forms; the golden tests pin all of
+// them against each other, ExtensionTime included (the skewed relation
+// overloads cycles, so the sorting-based stalling extension is charged
+// on both paths).
+//
+// All per-processor state lives in id-indexed slots (the procshare
+// discipline: the sharded scheduler calls Next for different
+// processors concurrently) and the per-processor bucket counts are
+// precomputed at construction, so Next stays O(1) amortized per
+// operation and allocation-free.
+type bucketSortScript struct {
+	p        int
+	keyRange int
+	keys     [][]int64
+	counts   [][]int64 // counts[id][j]: processor id's keys bound for bucket j
+
+	phase    []int8  // per-proc program counter (see Next)
+	idx      []int32 // per-proc loop index within the phase
+	incoming []int64 // counts[id][id] plus the received per-source counts
+	kept     []int64 // keys kept locally during the scan
+	got      []int64 // data messages received so far
+}
+
+func newBucketSortScript(keys [][]int64, keyRange int) *bucketSortScript {
+	p := len(keys)
+	s := &bucketSortScript{
+		p: p, keyRange: keyRange, keys: keys,
+		counts:   make([][]int64, p),
+		phase:    make([]int8, p),
+		idx:      make([]int32, p),
+		incoming: make([]int64, p),
+		kept:     make([]int64, p),
+		got:      make([]int64, p),
+	}
+	for id := range keys {
+		c := make([]int64, p)
+		for _, k := range keys[id] {
+			c[s.bucketOf(k)]++
+		}
+		s.counts[id] = c
+	}
+	return s
+}
+
+// bucketOf mirrors bucketSortProgram's bucket function.
+func (s *bucketSortScript) bucketOf(k int64) int {
+	b := int(k * int64(s.p) / int64(s.keyRange))
+	if b >= s.p {
+		b = s.p - 1
+	}
+	return b
+}
+
+// Active reports all processors active: every one sends its counts
+// before its first Recv, so none satisfies the passivity contract.
+func (s *bucketSortScript) Active(int) bool { return true }
+
+// Next is the per-operation transition the scripted engines drive; it must stay O(1) and allocation-free.
+//
+//hot:path per-event dynamic-dispatch target: its own mark, since hotness does not propagate through interfaces
+func (s *bucketSortScript) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
+	for {
+		switch s.phase[id] {
+		case 0: // the local counting pass, charged as one Compute
+			s.phase[id] = 1
+			return logp.ScriptOp{Kind: logp.ScriptCompute, N: int64(len(s.keys[id]))}
+
+		case 1: // send my per-bucket counts to every other processor
+			if int(s.idx[id]) == id {
+				s.idx[id]++
+			}
+			if j := int(s.idx[id]); j < s.p {
+				s.idx[id]++
+				return logp.ScriptOp{Kind: logp.ScriptSend, Dst: j, Tag: 1, Payload: s.counts[id][j]}
+			}
+			s.incoming[id] = s.counts[id][id]
+			s.idx[id] = 0
+			if s.p > 1 {
+				s.phase[id] = 2
+				return logp.ScriptOp{Kind: logp.ScriptRecv}
+			}
+			s.phase[id] = 3
+
+		case 2: // a count Recv completed; prev carries the payload
+			s.incoming[id] += prev.Msg.Payload
+			s.idx[id]++
+			if int(s.idx[id]) < s.p-1 {
+				return logp.ScriptOp{Kind: logp.ScriptRecv}
+			}
+			s.phase[id] = 3
+			s.idx[id] = 0
+
+		case 3: // scan my keys: keep the local ones, send the rest
+			keys := s.keys[id]
+			for int(s.idx[id]) < len(keys) {
+				k := keys[s.idx[id]]
+				s.idx[id]++
+				b := s.bucketOf(k)
+				if b == id {
+					s.kept[id]++
+					continue
+				}
+				return logp.ScriptOp{Kind: logp.ScriptSend, Dst: b, Tag: 2, Payload: k}
+			}
+			s.phase[id] = 4
+
+		case 4: // receive until the local bucket holds `incoming` keys
+			if s.kept[id]+s.got[id] < s.incoming[id] {
+				s.phase[id] = 5
+				return logp.ScriptOp{Kind: logp.ScriptRecv}
+			}
+			s.phase[id] = 6
+
+		case 5: // a data Recv completed
+			s.got[id]++
+			s.phase[id] = 4
+
+		case 6: // the final local sort, charged as in the Program form
+			s.phase[id] = 7
+			return logp.ScriptOp{Kind: logp.ScriptCompute, N: s.incoming[id] * 6}
+
+		default:
+			return logp.ScriptOp{Kind: logp.ScriptHalt}
+		}
 	}
 }
 

@@ -44,6 +44,9 @@ func newScaleRingScript(p, rounds int) *scaleRingScript {
 
 func (s *scaleRingScript) Active(int) bool { return true }
 
+// Next is the per-operation transition the scripted engines drive; it must stay O(1) and allocation-free.
+//
+//hot:path per-event dynamic-dispatch target: its own mark, since hotness does not propagate through interfaces
 func (s *scaleRingScript) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
 	k := int(s.step[id])
 	s.step[id]++
@@ -82,6 +85,9 @@ func newScaleBcastScript(p int) *scaleBcastScript {
 
 func (s *scaleBcastScript) Active(id int) bool { return id == 0 }
 
+// Next is the per-operation transition the scripted engines drive; it must stay O(1) and allocation-free.
+//
+//hot:path per-event dynamic-dispatch target: its own mark, since hotness does not propagate through interfaces
 func (s *scaleBcastScript) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
 	switch s.hi[id] {
 	case -1:
@@ -133,6 +139,9 @@ func (s *scaleBarrierScript) Active(id int) bool {
 	return n == 0
 }
 
+// Next is the per-operation transition the scripted engines drive; it must stay O(1) and allocation-free.
+//
+//hot:path per-event dynamic-dispatch target: its own mark, since hotness does not propagate through interfaces
 func (s *scaleBarrierScript) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
 	lo, c := s.children(id)
 	k := int(s.step[id])
@@ -188,6 +197,9 @@ func newScaleRouteScript(p, h, w int) *scaleRouteScript {
 
 func (s *scaleRouteScript) Active(int) bool { return true }
 
+// Next is the per-operation transition the scripted engines drive; it must stay O(1) and allocation-free.
+//
+//hot:path per-event dynamic-dispatch target: its own mark, since hotness does not propagate through interfaces
 func (s *scaleRouteScript) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
 	switch sent, rcvd := int(s.sent[id]), int(s.rcvd[id]); {
 	case s.p == 1:
@@ -242,6 +254,9 @@ func newScaleRandScript(rel *relation.RandomRegularStream, w int) *scaleRandScri
 
 func (s *scaleRandScript) Active(int) bool { return true }
 
+// Next is the per-operation transition the scripted engines drive; it must stay O(1) and allocation-free.
+//
+//hot:path per-event dynamic-dispatch target: its own mark, since hotness does not propagate through interfaces
 func (s *scaleRandScript) Next(id int, prev logp.ScriptResult) logp.ScriptOp {
 	if s.p == 1 {
 		return logp.ScriptOp{Kind: logp.ScriptHalt}
@@ -434,6 +449,55 @@ func E16Scale(procs int) func(Config) *Table {
 // messages ahead of receives, bounding in-flight records by p*w.
 const scaleRandWindow = 8
 
+// E17Scale runs the sorting-based workload (E9's bucket-sort
+// redistribution, ported to Script form as bucketSortScript) at a
+// processor count the coroutine Program form would not want to pay
+// for, natively on the sparse engine and replayed through the scripted
+// Theorem 1 cycle engine. The skewed key distribution overloads the
+// replay's cycles, so the table exercises the sorting-based stalling
+// extension (end of Section 3) in Script form: ExtensionTime charges
+// the closed-form O(log p)-supersteps preprocessing per overloaded
+// cycle (Fold: 2 selects the formula charge — the executed bitonic
+// preprocessing is a per-cycle p-processor BSP program, priced for E9
+// counts, not for thousands of processors; the golden tests pin the
+// executed form's Script/Program equality at the E9 configuration).
+//
+// The workload's count exchange is an all-to-all (p-1 messages per
+// processor), so unlike E14-E16 this experiment scales as p², which
+// caps its registered sizes at p = 2048.
+func E17Scale(procs int) func(Config) *Table {
+	return func(cfg Config) *Table {
+		p := procs
+		if cfg.Quick && p > 1024 {
+			p = 1024
+		}
+		const perProc = 8
+		keyRange := 1 << 16
+		lp := logp.Params{P: p, L: 16, O: 1, G: 4} // E9's machine, E9-style skew
+		t := &Table{
+			ID:      "E17",
+			Title:   fmt.Sprintf("Scale: sorting-based extension at p=%d (bucket exchange in Script form)", p),
+			Columns: []string{"p", "keys", "skew%", "logp-T", "stall-events", "bsp-T", "ext-T", "cap-viol"},
+			Notes: []string{
+				"logp-T: native sparse engine; bsp-T/ext-T: scripted Theorem 1 cycle replay (Fold 2, closed-form extension)",
+				"the all-to-all count exchange overloads replay cycles, so ext-T > bsp-T charges the Section 3 sorting-based preprocessing",
+			},
+		}
+		for _, skew := range []int{0, 90} {
+			keys := skewedKeys(cfg.Seed, p, perProc, skew, keyRange)
+			m := cfg.scriptMachine(lp, logp.DeliverMinLatency, logp.AcceptFIFO, cfg.Seed)
+			native, err := m.RunScript(newBucketSortScript(keys, keyRange))
+			must(err)
+			sim := cfg.thm1(core.LogPOnBSP{LogP: lp, Fold: 2})
+			rep, err := sim.RunScript(newBucketSortScript(keys, keyRange))
+			must(err)
+			t.AddRow(p, p*perProc, skew, native.Time, native.StallEvents,
+				rep.BSPTime, rep.ExtensionTime, rep.CapacityViolations)
+		}
+		return t
+	}
+}
+
 // Scale lists the large-p experiments at p = 10^4, 10^5, 10^6. They
 // are registered separately from All(): each run is seconds of wall
 // time and hundreds of megabytes of guest state, which would swamp the
@@ -470,6 +534,23 @@ func Scale() []Experiment {
 				Run:   E16Scale(sz.procs),
 			},
 		)
+	}
+	// E17's count exchange is an all-to-all (p² messages), so its
+	// ladder stops at p = 2048 instead of following the 10^4..10^6
+	// sizes above.
+	for _, sz := range []struct {
+		suffix string
+		procs  int
+	}{
+		{"p1k", 1024},
+		{"p2k", 2048},
+	} {
+		out = append(out, Experiment{
+			ID:    "E17." + sz.suffix,
+			Name:  fmt.Sprintf("Scale: sorting-based extension (bucket exchange) at p=%d", sz.procs),
+			Procs: sz.procs,
+			Run:   E17Scale(sz.procs),
+		})
 	}
 	return out
 }

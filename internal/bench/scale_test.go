@@ -89,6 +89,7 @@ func TestScaleGoldenTables(t *testing.T) {
 		{"E14", E14Scale(p)},
 		{"E15", E15Scale(p)},
 		{"E16", E16Scale(p)},
+		{"E17", E17Scale(p)},
 	} {
 		tc := tc
 		t.Run(tc.id, func(t *testing.T) {
@@ -140,8 +141,8 @@ func TestScaleBcastIsSparse(t *testing.T) {
 // carries the processor counts -bench normalizes by.
 func TestScaleRegistry(t *testing.T) {
 	exps := Scale()
-	if len(exps) != 9 {
-		t.Fatalf("Scale() has %d entries, want 9", len(exps))
+	if len(exps) != 11 {
+		t.Fatalf("Scale() has %d entries, want 11", len(exps))
 	}
 	for _, e := range exps {
 		if e.Procs <= 0 {
@@ -155,7 +156,8 @@ func TestScaleRegistry(t *testing.T) {
 		if got.ID != e.ID || got.Procs != e.Procs {
 			t.Errorf("Lookup(%q) = {ID:%s Procs:%d}, want {ID:%s Procs:%d}", e.ID, got.ID, got.Procs, e.ID, e.Procs)
 		}
-		if !strings.HasPrefix(e.ID, "E14.") && !strings.HasPrefix(e.ID, "E15.") && !strings.HasPrefix(e.ID, "E16.") {
+		if !strings.HasPrefix(e.ID, "E14.") && !strings.HasPrefix(e.ID, "E15.") &&
+			!strings.HasPrefix(e.ID, "E16.") && !strings.HasPrefix(e.ID, "E17.") {
 			t.Errorf("unexpected scale id %q", e.ID)
 		}
 	}
@@ -245,6 +247,7 @@ func TestScaleWarmMatchesCold(t *testing.T) {
 		{"E14", E14Scale(p)},
 		{"E15", E15Scale(p)},
 		{"E16", E16Scale(p)},
+		{"E17", E17Scale(p)},
 	} {
 		cold := tc.run(Config{Seed: 1}).Render()
 		cfg := Config{Seed: 1, Warm: NewWarm()}

@@ -622,6 +622,8 @@ func isCycleStopped(r interface{}) bool {
 // flushed back to the pool, or dropped when the (P, fold) shape
 // changed, since bundles are sized by it. Nothing is freed, so a warm
 // simulator replays with near-zero steady-state allocation.
+//
+//hot:cold per-Run setup owns all steady-state allocation
 func (e *cycleEngine) reset(lp logp.Params, cycleLen int64, fold int, keepPairs bool) {
 	sameShape := e.lp.P == lp.P && e.fold == fold
 	e.lp = lp
@@ -670,6 +672,8 @@ func (e *cycleEngine) reset(lp logp.Params, cycleLen int64, fold int, keepPairs 
 // shutdown unwinds still-parked coroutines and drops per-guest
 // closures and requests, so the retained slab pins no program state
 // (closures, message bodies) between runs.
+//
+//hot:cold per-Run epilogue
 func (e *cycleEngine) shutdown() {
 	for i := range e.procs {
 		p := &e.procs[i]
@@ -682,6 +686,9 @@ func (e *cycleEngine) shutdown() {
 	}
 }
 
+// run starts every coroutine guest and hands off to the commit loop.
+//
+//hot:cold per-Run startup
 func (e *cycleEngine) run(prog logp.Program) error {
 	for i := range e.procs {
 		p := &e.procs[i]
@@ -692,6 +699,10 @@ func (e *cycleEngine) run(prog logp.Program) error {
 	return e.loop()
 }
 
+// runScript starts every scripted guest and hands off to the commit
+// loop.
+//
+//hot:cold per-Run startup
 func (e *cycleEngine) runScript(sc logp.Script) error {
 	e.script = sc
 	for i := range e.procs {
@@ -706,6 +717,8 @@ func (e *cycleEngine) runScript(sc logp.Script) error {
 // realizes exactly the order the former O(p) scan picked — the
 // runnable guest with the smallest clock, lowest id on ties — at
 // O(log p) per step.
+//
+//hot:path the Theorem 1 cycle engine's per-event commit loop
 func (e *cycleEngine) loop() error {
 	for {
 		horizon := int64(math.MaxInt64)
@@ -730,13 +743,7 @@ func (e *cycleEngine) loop() error {
 			if e.procErr != nil {
 				return e.procErr
 			}
-			var blocked []int
-			for i := range e.procs {
-				if e.procs[i].state == cycleWaitMsg {
-					blocked = append(blocked, e.procs[i].id)
-				}
-			}
-			return fmt.Errorf("core: deadlock in Theorem 1 replay: processors %v blocked on Recv", blocked)
+			return e.deadlockError()
 		}
 		ref := e.ready.popMin()
 		e.exec(&e.procs[ref.id])
@@ -751,6 +758,20 @@ func (e *cycleEngine) loop() error {
 		}
 	}
 	return e.procErr
+}
+
+// deadlockError renders the replay's deadlock diagnostic, off the hot
+// path so the commit loop itself stays allocation-free.
+//
+//hot:cold failure epilogue: the diagnostic rendering may allocate
+func (e *cycleEngine) deadlockError() error {
+	var blocked []int
+	for i := range e.procs {
+		if e.procs[i].state == cycleWaitMsg {
+			blocked = append(blocked, e.procs[i].id)
+		}
+	}
+	return fmt.Errorf("core: deadlock in Theorem 1 replay: processors %v blocked on Recv", blocked)
 }
 
 // await obtains p's next request — resuming the coroutine or running
@@ -795,7 +816,9 @@ func (e *cycleEngine) resume(p *cycleProc, r cycleRes) {
 // the same order as the CycleH slice result() returns).
 func (e *cycleEngine) ensureCycle(cycle int64) {
 	for int64(len(e.maxH)) <= cycle {
+		//lint:ignore hotloop per-cycle aggregate growth: O(cycles) appends per run, not per event
 		e.maxH = append(e.maxH, 0)
+		//lint:ignore hotloop per-cycle aggregate growth: O(cycles) appends per run, not per event
 		e.overload = append(e.overload, false)
 	}
 }
@@ -808,6 +831,8 @@ func (e *cycleEngine) noteH(cycle, c int64) {
 
 // takeCols returns a zeroed column bundle, pooled or fresh, sized for
 // the current (P, fold) shape.
+//
+//hot:cold column-bundle constructor: pool misses are bounded by the live-window high-water mark, and the steady state reuses pooled bundles
 func (e *cycleEngine) takeCols() *cycleCols {
 	if n := len(e.colPool); n > 0 {
 		c := e.colPool[n-1]
@@ -839,6 +864,7 @@ func (e *cycleEngine) clearCols(c *cycleCols) {
 func (e *cycleEngine) colsFor(cycle int64) *cycleCols {
 	idx := int(cycle - e.colBase)
 	for idx >= len(e.colLive) {
+		//lint:ignore hotloop live-window growth to its high-water span, then reused; retireCols rebases it
 		e.colLive = append(e.colLive, nil)
 	}
 	c := e.colLive[idx]
@@ -860,6 +886,7 @@ func (e *cycleEngine) retireCols(floor int64) {
 	for e.colHead < len(e.colLive) && e.colBase+int64(e.colHead) < floor {
 		if c := e.colLive[e.colHead]; c != nil {
 			e.clearCols(c)
+			//lint:ignore hotloop pool return: colPool reaches the window high-water capacity and stops growing
 			e.colPool = append(e.colPool, c)
 			e.colLive[e.colHead] = nil
 		}
@@ -1065,6 +1092,7 @@ func (e *cycleEngine) deliverInstant(t int64) {
 		p := &e.procs[dst]
 		e.appendBuf(p, ev.idx, t)
 		if p.state == cycleWaitMsg {
+			//lint:ignore hotloop wake-list staging reuses e.wake via [:0]; growth is bounded by the per-instant delivery high-water
 			wake = append(wake, int32(dst))
 		}
 	}
@@ -1087,6 +1115,9 @@ func (e *cycleEngine) deliverInstant(t int64) {
 	}
 }
 
+// result folds the per-cycle aggregates into a Thm1Result.
+//
+//hot:cold per-Run epilogue
 func (e *cycleEngine) result(bp bsp.Params) Thm1Result {
 	res := Thm1Result{GuestTime: e.guestTime, MessagesSent: e.totalMsgs}
 	if e.guestTime == 0 {

@@ -42,6 +42,7 @@ func (a *procArena) alloc() *proc {
 	ci := a.used >> procChunkBits
 	off := a.used & (1<<procChunkBits - 1)
 	if ci == len(a.chunks) {
+		//lint:ignore allocdiscipline chunk growth is amortized to the record high-water mark; a warm machine re-hands existing chunks
 		a.chunks = append(a.chunks, make([]proc, 1<<procChunkBits))
 	}
 	a.used++

@@ -73,15 +73,9 @@ func (m *Machine) maybeRecycle(p *proc) {
 	if m.script == nil || p.state != stateDone || m.procs[p.id] != p {
 		return
 	}
-	if len(m.procTimes) != len(m.procs) {
-		m.procTimes = make([]int64, len(m.procs))
-	}
 	m.procTimes[p.id] = p.clock
 	m.doneStall += p.stallCycles
 	if p.bufLen > 0 {
-		if m.doneBufLen == nil {
-			m.doneBufLen = make(map[int]int)
-		}
 		m.doneBufLen[p.id] = p.bufLen
 		for p.bufHead >= 0 {
 			m.popBufFree(p)
@@ -115,6 +109,7 @@ func (m *Machine) instantiateLazy(id int, t int64) {
 	p.watermark = m.localWatermark()
 	p.prefix = true
 	if m.script == nil {
+		//lint:ignore allocdiscipline one coroutine per lazily instantiated processor; the dense engine pays the same closure at startup
 		p.next, p.stop = iter.Pull(p.sequence(m.curProg))
 	}
 	m.await(p)

@@ -124,6 +124,8 @@ type parEngine struct {
 
 // resetPar prepares (or tears down) the parallel scheduler state for a
 // fresh Run, after m.params and m.slowPath are settled.
+//
+//hot:cold per-Run setup
 func (m *Machine) resetPar() {
 	shards := m.shardsOpt
 	if shards > m.params.P {
@@ -170,14 +172,18 @@ func (m *Machine) resetPar() {
 // Completion order on doneCh is scheduler-dependent; the commit loop
 // never lets it reach an observable effect — collect re-parks procs
 // into the ready heap, which re-sorts by (clock, id).
+//
+//hot:path the shard worker's per-batch transform loop
 func parWorker(work <-chan []*proc, done chan<- *proc, recycle chan<- []*proc, wg *sync.WaitGroup) {
 	defer wg.Done()
 	for batch := range work {
 		for i, p := range batch {
 			batch[i] = nil
 			p.advance()
+			//lint:ignore hotloop the commit protocol hands each proc back individually; this rendezvous is the measured Amdahl ceiling
 			done <- p
 		}
+		//lint:ignore hotloop nonblocking batch-slice recycle; the pool handoff is the protocol, once per batch
 		select {
 		case recycle <- batch[:0]:
 		default: // recycle pool full; let the GC have it
@@ -187,6 +193,8 @@ func parWorker(work <-chan []*proc, done chan<- *proc, recycle chan<- []*proc, w
 
 // startWorkers builds the per-run channels and spawns one worker per
 // shard.
+//
+//hot:cold per-Run startup
 func (m *Machine) startWorkers() {
 	e := m.par
 	shards := len(e.workCh)
@@ -212,6 +220,8 @@ func (m *Machine) startWorkers() {
 // processor's first segment. It mirrors the sequential startup sweep:
 // programs not yet dispatched sit at clock 0, which resumeFloor
 // advertises to the segments already running.
+//
+//hot:cold per-Run startup
 func (m *Machine) startParallel(prog Program) {
 	m.startWorkers()
 	m.resumeFloor = 0
@@ -232,6 +242,8 @@ func (m *Machine) startParallel(prog Program) {
 // startParallelScript is startParallel for the scripted form: only
 // active processors are materialized and dispatched; the rest become
 // templates.
+//
+//hot:cold per-Run startup
 func (m *Machine) startParallelScript(s Script) {
 	m.startWorkers()
 	m.resumeFloor = 0
@@ -279,6 +291,7 @@ func (e *parEngine) flushShard(s int) {
 	select {
 	case e.stage[s] = <-e.recycleCh:
 	default:
+		//lint:ignore allocdiscipline batch-buffer refresh on recycle-pool miss, bounded by the recycle channel capacity
 		e.stage[s] = make([]*proc, 0, parBatch)
 	}
 	e.workCh[s] <- b
@@ -363,6 +376,8 @@ func (m *Machine) collect(p *proc) {
 // chosen commit, the loop waits for a completion instead of
 // committing. Its return mirrors the sequential loop's exits: nil on
 // normal completion, the first processor panic, or a deadlock report.
+//
+//hot:path the sharded scheduler's commit loop
 func (m *Machine) loopParallel() error {
 	e := m.par
 	for {
@@ -370,6 +385,7 @@ func (m *Machine) loopParallel() error {
 		// fresh and workers are refilled promptly.
 	drain:
 		for {
+			//lint:ignore hotloop nonblocking drain of completed segments; the rendezvous is the commit protocol
 			select {
 			case p := <-e.doneCh:
 				m.collect(p)
@@ -392,6 +408,7 @@ func (m *Machine) loopParallel() error {
 				// them.
 				if bok && bc < t {
 					e.flushAll()
+					//lint:ignore hotloop blocking on a completion is the commit rule when a running segment could still sort ahead
 					m.collect(<-e.doneCh)
 					continue
 				}
@@ -403,6 +420,7 @@ func (m *Machine) loopParallel() error {
 			cand := m.ready[0]
 			if bok && (bc < cand.clock || (bc == cand.clock && bid < cand.id)) {
 				e.flushAll()
+				//lint:ignore hotloop blocking on a completion is the commit rule when a running segment could still sort ahead
 				m.collect(<-e.doneCh)
 				continue
 			}
@@ -411,6 +429,7 @@ func (m *Machine) loopParallel() error {
 		}
 		if e.running > 0 {
 			e.flushAll()
+			//lint:ignore hotloop blocking on a completion is the commit rule when a running segment could still sort ahead
 			m.collect(<-e.doneCh)
 			continue
 		}
@@ -439,6 +458,8 @@ func (m *Machine) loopParallel() error {
 // panic can leave segments in flight, so they are drained first —
 // workers never block (doneCh holds P) and each proc must be parked
 // before its coroutine can be stopped by the caller's unwind sweep.
+//
+//hot:cold per-Run epilogue
 func (m *Machine) shutdownParallel() {
 	e := m.par
 	if e == nil || !e.started {

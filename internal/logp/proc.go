@@ -228,6 +228,9 @@ func (p *proc) call(r request) response {
 	return v
 }
 
+// Compute is the per-event local-work operation of the fast path.
+//
+//hot:path program-side fast-path operation
 func (p *proc) Compute(n int64) {
 	if n < 0 {
 		panic(fmt.Sprintf("logp: Compute(%d) with negative cycles", n))
@@ -246,6 +249,9 @@ func (p *proc) Compute(n int64) {
 	p.call(request{kind: opCompute, n: n})
 }
 
+// WaitUntil advances the local clock to t.
+//
+//hot:path program-side fast-path operation
 func (p *proc) WaitUntil(t int64) {
 	if p.fast {
 		if t > p.clock {
@@ -257,10 +263,16 @@ func (p *proc) WaitUntil(t int64) {
 	p.call(request{kind: opIdle, n: t})
 }
 
+// Send submits a message for delivery to dst.
+//
+//hot:path program-side fast-path operation
 func (p *proc) Send(dst int, tag int32, payload, aux int64) {
 	p.SendBody(dst, tag, payload, aux, nil)
 }
 
+// SendBody is Send carrying an opaque body reference.
+//
+//hot:path program-side fast-path operation
 func (p *proc) SendBody(dst int, tag int32, payload, aux int64, body interface{}) {
 	if dst < 0 || dst >= p.m.params.P {
 		panic(fmt.Sprintf("logp: Send to invalid destination %d (P=%d)", dst, p.m.params.P))
@@ -273,10 +285,16 @@ func (p *proc) SendBody(dst int, tag int32, payload, aux int64, body interface{}
 	}})
 }
 
+// Recv blocks until a buffered message can be acquired.
+//
+//hot:path program-side fast-path operation
 func (p *proc) Recv() Message {
 	return p.call(request{kind: opRecv}).msg
 }
 
+// TryRecv polls the input buffer for one cycle.
+//
+//hot:path program-side fast-path operation
 func (p *proc) TryRecv() (Message, bool) {
 	if p.fast {
 		if p.bufLen > 0 {
@@ -305,6 +323,9 @@ func (p *proc) TryRecv() (Message, bool) {
 	return r.msg, r.ok
 }
 
+// Buffered reports how many arrivals are acquirable right now.
+//
+//hot:path program-side fast-path operation
 func (p *proc) Buffered() int {
 	if p.fast && p.clock < p.watermark {
 		// Every arrival at or before clock is already in the local

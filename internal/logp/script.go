@@ -86,6 +86,8 @@ type ScriptResult struct {
 // Run(ScriptAsProgram(s)) is the dense differential oracle for
 // RunScript(s): traces, audit metrics, and Results must match byte for
 // byte.
+//
+//hot:cold adapter constructor: builds one Program closure per Run for the dense oracle path; its operations are the Proc fast-path methods, rooted separately
 func ScriptAsProgram(s Script) Program {
 	return func(p Proc) {
 		id := p.ID()
@@ -126,8 +128,11 @@ func ScriptAsProgram(s Script) Program {
 // Result, trace, audit metrics — is byte-identical to
 // Run(ScriptAsProgram(s)). Under WithSlowPath the call literally
 // redirects there, keeping the slow path the one oracle.
+//
+//hot:path entry to the scripted engine; setup/epilogue callees are //hot:cold
 func (m *Machine) RunScript(s Script) (Result, error) {
 	if m.slowPath {
+		//lint:ignore allocdiscipline the dense-oracle redirect builds one adapter closure per Run, not per event
 		return m.Run(ScriptAsProgram(s))
 	}
 	m.script = s
@@ -151,6 +156,8 @@ func (m *Machine) RunScript(s Script) (Result, error) {
 // runSequentialScript mirrors runSequential: active processors start
 // in id order, passive ones become templates, then the shared commit
 // loop interleaves instants and operations.
+//
+//hot:cold per-Run startup
 func (m *Machine) runSequentialScript(s Script) error {
 	m.resumeFloor = 0
 	for i := 0; i < m.params.P; i++ {
@@ -178,6 +185,8 @@ func (m *Machine) runSequentialScript(s Script) error {
 // parks a request for the engine. A panic out of Next (or a validation
 // failure) becomes the same opPanic request the coroutine epilogue
 // would record.
+//
+//hot:path the scripted engine's per-operation transition loop
 func (p *proc) scriptSegment() {
 	defer func() {
 		if r := recover(); r != nil {

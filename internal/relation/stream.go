@@ -66,6 +66,9 @@ func (s CyclicShiftStream) SrcDegree(src int) int { return 1 }
 func (s CyclicShiftStream) DstDegree(dst int) int { return 1 }
 func (s CyclicShiftStream) H() int                { return 1 }
 
+// Pair is the per-message generator the scale engines call once per send; it must stay O(1) and allocation-free.
+//
+//hot:path per-event dynamic-dispatch target: its own mark, since hotness does not propagate through interfaces
 func (s CyclicShiftStream) Pair(src, k int) Pair {
 	return Pair{Src: src, Dst: ((src+s.k)%s.p + s.p) % s.p}
 }
@@ -107,6 +110,9 @@ func (s TransposeStream) H() int {
 	return 0
 }
 
+// Pair is the per-message generator the scale engines call once per send; it must stay O(1) and allocation-free.
+//
+//hot:path per-event dynamic-dispatch target: its own mark, since hotness does not propagate through interfaces
 func (s TransposeStream) Pair(src, k int) Pair {
 	return Pair{Src: src, Dst: (src%s.side)*s.side + src/s.side}
 }
@@ -145,6 +151,9 @@ func (s HotSpotStream) DstDegree(dst int) int {
 
 func (s HotSpotStream) H() int { return s.h }
 
+// Pair is the per-message generator the scale engines call once per send; it must stay O(1) and allocation-free.
+//
+//hot:path per-event dynamic-dispatch target: its own mark, since hotness does not propagate through interfaces
 func (s HotSpotStream) Pair(src, k int) Pair {
 	return Pair{Src: src, Dst: s.target}
 }
@@ -194,6 +203,9 @@ func (s *RandomRegularStream) SrcDegree(src int) int { return s.h }
 func (s *RandomRegularStream) DstDegree(dst int) int { return s.h }
 func (s *RandomRegularStream) H() int                { return s.h }
 
+// Pair is the per-message generator the scale engines call once per send; it must stay O(1) and allocation-free.
+//
+//hot:path per-event dynamic-dispatch target: its own mark, since hotness does not propagate through interfaces
 func (s *RandomRegularStream) Pair(src, k int) Pair {
 	return Pair{Src: src, Dst: int(s.perms[k*s.p+src])}
 }
